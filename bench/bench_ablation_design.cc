@@ -1,0 +1,66 @@
+// Design-choice ablations beyond the paper's Table 4: the simulator-scale
+// adaptations documented in DESIGN.md are themselves experiments, and this
+// bench quantifies each one on the Table-1 configuration:
+//   * gate sharpness k in r = sigmoid(k * f_In(.)),
+//   * known-replay-through-open-gate on/off,
+//   * adapter bottleneck width d'.
+
+#include "bench/bench_common.h"
+
+namespace infuserki::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  eval::ExperimentConfig config =
+      MakeConfig(flags, eval::ExperimentConfig::Domain::kUmls,
+                 /*default_triplets=*/96);
+  EpochBudget budget = MakeBudget(flags);
+  if (!flags.Has("infuserki_qa_epochs")) budget.infuserki_qa_epochs = 45;
+
+  eval::Experiment experiment(config);
+  experiment.Setup();
+
+  struct Variant {
+    const char* label;
+    float sharpness;
+    bool replay_open_gate;
+    size_t bottleneck;
+  };
+  const Variant variants[] = {
+      {"default (k=3, replay-open, d'=96)", 3.0f, true, 96},
+      {"soft gate (k=1)", 1.0f, true, 96},
+      {"no open-gate replay", 3.0f, false, 96},
+      {"narrow adapter (d'=32)", 3.0f, true, 32},
+  };
+
+  util::TablePrinter table({"Variant", "NR", "RR", "F1_Unseen"});
+  for (const Variant& variant : variants) {
+    eval::MethodScores scores =
+        RunMethod(experiment, [&](model::TransformerLM* lm) {
+          core::InfuserKiOptions options;
+          options.adapters.first_layer = 1;
+          options.adapters.gate_sharpness = variant.sharpness;
+          options.adapters.bottleneck = variant.bottleneck;
+          options.replay_open_gate = variant.replay_open_gate;
+          options.qa_epochs = budget.infuserki_qa_epochs;
+          return std::make_unique<core::InfuserKi>(lm, options);
+        });
+    table.AddRow({variant.label, Fmt(scores.nr), Fmt(scores.rr),
+                  Fmt(scores.f1_unseen)});
+    std::cerr << "[bench] " << variant.label << " done\n";
+  }
+  std::cout << "\n=== Design ablations (simulator-scale adaptations) ===\n\n";
+  table.Print(std::cout);
+  (void)table.WriteCsv("ablation_design.csv");
+  std::cout << "\nExpected: softening the gate or dropping open-gate replay "
+               "costs RR; narrowing the adapter costs NR.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace infuserki::bench
+
+int main(int argc, char** argv) {
+  return infuserki::bench::Run(argc, argv);
+}

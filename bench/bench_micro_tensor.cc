@@ -1,0 +1,85 @@
+// Engineering micro-benchmarks (google-benchmark) for the tensor/autograd
+// substrate: the per-op costs that dominate experiment wall-clock.
+
+#include <benchmark/benchmark.h>
+
+#include "model/transformer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace infuserki::tensor {
+namespace {
+
+void BM_MatmulNT(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatmulNT(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Softmax(benchmark::State& state) {
+  util::Rng rng(2);
+  Tensor a = Tensor::Randn({64, 512}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_CausalSelfAttention(benchmark::State& state) {
+  size_t t = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  Tensor q = Tensor::Randn({t, 64}, &rng);
+  Tensor k = Tensor::Randn({t, 64}, &rng);
+  Tensor v = Tensor::Randn({t, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CausalSelfAttention(q, k, v, 4));
+  }
+}
+BENCHMARK(BM_CausalSelfAttention)->Arg(16)->Arg(64);
+
+void BM_LmForward(benchmark::State& state) {
+  model::TransformerConfig config;
+  config.vocab_size = 1000;
+  config.dim = 64;
+  config.num_layers = 8;
+  config.num_heads = 4;
+  config.ffn_hidden = 128;
+  util::Rng rng(4);
+  model::TransformerLM lm(config, &rng);
+  std::vector<int> tokens(32, 5);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.Logits(tokens));
+  }
+}
+BENCHMARK(BM_LmForward);
+
+void BM_LmTrainStep(benchmark::State& state) {
+  model::TransformerConfig config;
+  config.vocab_size = 1000;
+  config.dim = 64;
+  config.num_layers = 8;
+  config.num_heads = 4;
+  config.ffn_hidden = 128;
+  util::Rng rng(5);
+  model::TransformerLM lm(config, &rng);
+  std::vector<int> tokens(32, 5);
+  for (auto _ : state) {
+    Tensor loss = lm.NextTokenLoss(tokens);
+    loss.Backward();
+    for (Tensor& p : lm.Parameters()) p.ZeroGrad();
+  }
+}
+BENCHMARK(BM_LmTrainStep);
+
+}  // namespace
+}  // namespace infuserki::tensor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Extension example: incremental knowledge updates. A deployed model
+// receives new KG facts in waves (e.g. weekly product updates); each wave
+// is integrated with a fresh InfuserKI pass while earlier integrations
+// must survive. This exercises the lifelong-editing angle the paper's
+// related-work section contrasts with (GRACE, T-Patcher).
+//
+// Run:  ./incremental_updates [--triplets=96] [--waves=2]
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/infuserki.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace infuserki;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  eval::ExperimentConfig config;
+  config.domain = eval::ExperimentConfig::Domain::kUmls;
+  config.num_triplets = static_cast<size_t>(flags.GetInt("triplets", 96));
+  config.arch.dim = 64;
+  config.arch.num_layers = 8;
+  config.arch.num_heads = 4;
+  config.arch.ffn_hidden = 128;
+  config.pretrain_steps =
+      static_cast<size_t>(flags.GetInt("pretrain_steps", 1200));
+  config.eval_cap = 40;
+  config.downstream_cap = 24;
+  config.cache_dir = flags.GetString("cache_dir", "model_cache");
+
+  eval::Experiment experiment(config);
+  experiment.Setup();
+
+  size_t waves = static_cast<size_t>(flags.GetInt("waves", 2));
+  core::KiTrainData all = experiment.BuildTrainData();
+  size_t per_wave = (all.unknown_qa.size() / 2 + waves - 1) / waves;
+
+  auto lm = experiment.CloneBaseModel();
+  // One adapter stack per wave, chained as independent hooks is not
+  // supported by a single ForwardOptions slot; instead each wave extends
+  // the SAME method's training data (replay of earlier waves), the
+  // simplest production-honest policy.
+  std::vector<std::unique_ptr<core::InfuserKi>> methods;
+  core::KiTrainData accumulated;
+  accumulated.tokenizer = all.tokenizer;
+  accumulated.kg = all.kg;
+  accumulated.known_qa = all.known_qa;
+
+  std::printf("\nIntegrating %zu unknown facts in %zu waves.\n",
+              all.unknown_qa.size() / 2, waves);
+  for (size_t wave = 0; wave < waves; ++wave) {
+    // Each triplet contributes two template variants, adjacent in the
+    // list; take a contiguous slice of triplets per wave.
+    size_t begin = wave * per_wave * 2;
+    size_t end = std::min(all.unknown_qa.size(), begin + per_wave * 2);
+    if (begin >= end) break;
+    for (size_t i = begin; i < end; ++i) {
+      accumulated.unknown_qa.push_back(all.unknown_qa[i]);
+    }
+    for (const kg::StatementSample& statement : all.unknown_statements) {
+      // Keep statements for the facts integrated so far.
+      bool in_wave = false;
+      for (size_t i = 0; i < accumulated.unknown_qa.size(); ++i) {
+        if (accumulated.unknown_qa[i].triplet_index ==
+            statement.triplet_index) {
+          in_wave = true;
+          break;
+        }
+      }
+      if (in_wave) accumulated.unknown_statements.push_back(statement);
+    }
+
+    // Fresh adapters per wave would stack hooks; retraining the single
+    // stack on the accumulated data is the replay policy shown here.
+    auto model = experiment.CloneBaseModel();
+    core::InfuserKiOptions options;
+    options.adapters.first_layer = 1;
+    options.qa_epochs = static_cast<size_t>(flags.GetInt("qa_epochs", 60));
+    auto method = std::make_unique<core::InfuserKi>(model.get(), options);
+    method->Train(accumulated);
+    eval::MethodScores scores = experiment.EvaluateMethod(
+        "wave " + std::to_string(wave + 1), *model, method->Forward());
+    std::printf("after wave %zu: NR=%s RR=%s (facts integrated so far: "
+                "%zu)\n",
+                wave + 1, util::FormatFloat(scores.nr, 2).c_str(),
+                util::FormatFloat(scores.rr, 2).c_str(),
+                accumulated.unknown_qa.size() / 2);
+    methods.push_back(std::move(method));
+    lm = std::move(model);
+  }
+  std::printf(
+      "\nNR counts ALL originally-unknown facts, so early waves show\n"
+      "partial NR by construction; RR staying high across waves is the\n"
+      "locality property under repeated updates.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Domain example: enriching a base model with a private medical KG — the
+// "hospital customizes a model with its case data" scenario from the
+// paper's introduction.
+//
+// Walks through the full InfuserKI workflow with commentary:
+//   1. knowledge detection over the UMLS-style KG,
+//   2. Infuser-guided integration of the unknown facts,
+//   3. a side-by-side audit against LoRA on reliability (NR) and
+//      locality (RR), plus the claim-verification downstream task.
+//
+// Run:  ./medical_knowledge_integration [--triplets=96]
+
+#include <cstdio>
+
+#include "core/infuserki.h"
+#include "eval/experiment.h"
+#include "peft/lora.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace infuserki;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  eval::ExperimentConfig config;
+  config.domain = eval::ExperimentConfig::Domain::kUmls;
+  config.num_triplets = static_cast<size_t>(flags.GetInt("triplets", 96));
+  config.arch.dim = 64;
+  config.arch.num_layers = 8;
+  config.arch.num_heads = 4;
+  config.arch.ffn_hidden = 128;
+  config.pretrain_steps =
+      static_cast<size_t>(flags.GetInt("pretrain_steps", 1200));
+  config.eval_cap = 48;
+  config.downstream_cap = 32;
+  config.cache_dir = flags.GetString("cache_dir", "model_cache");
+
+  eval::Experiment experiment(config);
+  experiment.Setup();
+
+  const auto& detection = experiment.detection();
+  std::printf("\n-- Step 1: knowledge detection --\n");
+  std::printf("The hospital's KG holds %zu facts over %zu concepts.\n",
+              experiment.kg().num_triplets(),
+              experiment.kg().num_entities());
+  std::printf("The base model already answers %zu (%.0f%%); %zu are "
+              "unknown and need integration.\n",
+              detection.known.size(), 100.0 * detection.KnownFraction(),
+              detection.unknown.size());
+  // Show one unknown fact.
+  if (!experiment.nr_set().empty()) {
+    const kg::Mcq& example = experiment.nr_set().front();
+    std::printf("Example unknown question: \"%s\"\n",
+                example.question.c_str());
+  }
+
+  std::printf("\n-- Step 2: Infuser-guided integration --\n");
+  auto ki_lm = experiment.CloneBaseModel();
+  core::InfuserKiOptions ki_options;
+  ki_options.adapters.first_layer = 1;
+  ki_options.qa_epochs =
+      static_cast<size_t>(flags.GetInt("qa_epochs", 80));
+  core::InfuserKi infuserki(ki_lm.get(), ki_options);
+  infuserki.Train(experiment.BuildTrainData());
+  std::printf("Trained %zu adapter/Infuser parameters; base model frozen.\n",
+              infuserki.NumTrainableParameters());
+
+  std::printf("\n-- Step 3: audit vs LoRA --\n");
+  auto lora_lm = experiment.CloneBaseModel();
+  peft::LoraOptions lora_options;
+  lora_options.epochs = static_cast<size_t>(flags.GetInt("epochs", 40));
+  lora_options.rank = 8;
+  lora_options.alpha = 16.0f;
+  lora_options.lr = 3e-3f;
+  peft::LoraMethod lora(lora_lm.get(), lora_options);
+  lora.Train(experiment.BuildTrainData());
+
+  eval::MethodScores vanilla = experiment.EvaluateVanilla();
+  eval::MethodScores ki_scores =
+      experiment.EvaluateMethod("InfuserKI", *ki_lm, infuserki.Forward());
+  eval::MethodScores lora_scores =
+      experiment.EvaluateMethod("LoRA", *lora_lm, lora.Forward());
+
+  auto row = [](const eval::MethodScores& s) {
+    std::printf("%-12s %6s %6s %10s %11s\n", s.method.c_str(),
+                s.has_nr_rr ? util::FormatFloat(s.nr, 2).c_str() : "-",
+                s.has_nr_rr ? util::FormatFloat(s.rr, 2).c_str() : "-",
+                util::FormatFloat(s.f1_unseen, 2).c_str(),
+                util::FormatFloat(s.downstream, 2).c_str());
+  };
+  std::printf("%-12s %6s %6s %10s %11s\n", "", "NR", "RR", "F1_Unseen",
+              "ClaimTask");
+  row(vanilla);
+  row(lora_scores);
+  row(ki_scores);
+  std::printf(
+      "\nReading: NR = newly-learned rate on previously-unknown facts;\n"
+      "RR = remembering rate on facts the base model already knew.\n"
+      "InfuserKI's gate suppresses adapter output on known inputs, which\n"
+      "is what keeps RR high while NR rises.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Domain example: a movie-streaming catalogue assistant (the MetaQA
+// setting). Integrates a synthetic movie KG into the base model and then
+// answers open 1-hop questions — no options shown — by candidate scoring,
+// printing its per-candidate confidence for a few sample questions.
+//
+// Run:  ./movie_qa [--triplets=96] [--questions=5]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/infuserki.h"
+#include "eval/downstream.h"
+#include "eval/experiment.h"
+#include "model/generation.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace infuserki;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  eval::ExperimentConfig config;
+  config.domain = eval::ExperimentConfig::Domain::kMetaQa;
+  config.num_triplets = static_cast<size_t>(flags.GetInt("triplets", 96));
+  config.arch.dim = 64;
+  config.arch.num_layers = 8;
+  config.arch.num_heads = 4;
+  config.arch.ffn_hidden = 128;
+  config.pretrain_steps =
+      static_cast<size_t>(flags.GetInt("pretrain_steps", 1200));
+  config.eval_cap = 48;
+  config.downstream_cap = 32;
+  config.cache_dir = flags.GetString("cache_dir", "model_cache");
+
+  eval::Experiment experiment(config);
+  experiment.Setup();
+  std::printf("\nCatalogue KG: %zu facts about %zu movies/people, "
+              "%zu relation types.\n",
+              experiment.kg().num_triplets(),
+              experiment.kg().num_entities(),
+              experiment.kg().num_relations());
+
+  auto lm = experiment.CloneBaseModel();
+  core::InfuserKiOptions options;
+  options.adapters.first_layer = 1;
+  options.qa_epochs = static_cast<size_t>(flags.GetInt("qa_epochs", 80));
+  core::InfuserKi method(lm.get(), options);
+  method.Train(experiment.BuildTrainData());
+
+  // Build a small open-QA demo from the integration targets.
+  util::Rng rng(42);
+  std::vector<size_t> indices = experiment.detection().unknown;
+  if (indices.size() > 12) indices.resize(12);
+  std::vector<eval::OneHopItem> items = eval::Build1HopTask(
+      experiment.kg(), experiment.templates(), indices,
+      /*max_candidates=*/6, &rng);
+
+  size_t to_show = static_cast<size_t>(flags.GetInt("questions", 5));
+  size_t correct = 0;
+  std::printf("\nAsking the assistant (no options shown to the model):\n");
+  for (size_t i = 0; i < items.size(); ++i) {
+    model::OptionScores scores =
+        model::ScoreOptions(*lm, experiment.tokenizer(), items[i].prompt,
+                            items[i].candidates, method.Forward());
+    bool ok = scores.best == items[i].gold;
+    if (ok) ++correct;
+    if (i < to_show) {
+      std::printf("\nQ: %s\n", items[i].prompt.c_str());
+      // Top-2 candidates by probability.
+      std::vector<size_t> order(items[i].candidates.size());
+      for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores.probabilities[a] > scores.probabilities[b];
+      });
+      for (size_t rank = 0; rank < 2 && rank < order.size(); ++rank) {
+        size_t j = order[rank];
+        std::printf("   %s (confidence %s)%s\n",
+                    items[i].candidates[j].c_str(),
+                    util::FormatFloat(scores.probabilities[j], 2).c_str(),
+                    static_cast<int>(j) == items[i].gold ? "  [gold]" : "");
+      }
+      std::printf("   -> %s\n", ok ? "correct" : "wrong");
+    }
+  }
+  std::printf("\n1-hop accuracy over %zu integrated facts: %s\n",
+              items.size(),
+              util::FormatFloat(static_cast<double>(correct) /
+                                    static_cast<double>(items.size()),
+                                2)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the InfuserKI pipeline end to end on a tiny synthetic
+// medical KG.
+//
+//   1. Generate a knowledge graph and pretrain a small base LM on part of it.
+//   2. Detect which facts the model already knows (§3.2).
+//   3. Integrate the unknown facts with Infuser-guided knowledge adapters.
+//   4. Compare NR (reliability) / RR (locality) before and after.
+//
+// Run:  ./quickstart [--triplets=96] [--pretrain_steps=1200]
+
+#include <cstdio>
+
+#include "core/infuserki.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+using namespace infuserki;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  eval::ExperimentConfig config;
+  config.domain = eval::ExperimentConfig::Domain::kUmls;
+  config.num_triplets =
+      static_cast<size_t>(flags.GetInt("triplets", 96));
+  config.pretrain_steps =
+      static_cast<size_t>(flags.GetInt("pretrain_steps", 1200));
+  config.arch.dim = 64;
+  config.arch.num_layers = 8;
+  config.arch.num_heads = 4;
+  config.arch.ffn_hidden = 128;
+  config.eval_cap = 60;
+  config.downstream_cap = 40;
+  config.cache_dir = flags.GetString("cache_dir", "model_cache");
+
+  eval::Experiment experiment(config);
+  experiment.Setup();
+
+  std::printf("\nBase model knows %zu of %zu facts (%.0f%%).\n",
+              experiment.detection().known.size(), config.num_triplets,
+              100.0 * experiment.detection().KnownFraction());
+
+  // Vanilla scores: how the untouched model does on the evaluation sets.
+  eval::MethodScores before = experiment.EvaluateVanilla();
+
+  // Integrate the unknown knowledge.
+  auto lm = experiment.CloneBaseModel();
+  core::InfuserKiOptions options;
+  options.adapters.first_layer = 1;
+  options.qa_epochs =
+      static_cast<size_t>(flags.GetInt("qa_epochs", 70));
+  core::InfuserKi method(lm.get(), options);
+  method.Train(experiment.BuildTrainData());
+
+  eval::MethodScores after =
+      experiment.EvaluateMethod(method.name(), *lm, method.Forward());
+
+  std::printf("\n%-22s %8s %8s %10s %11s\n", "", "NR", "RR", "F1_Unseen",
+              "Downstream");
+  std::printf("%-22s %8s %8s %10s %11s\n", "Vanilla", "-", "-",
+              util::FormatFloat(before.f1_unseen, 2).c_str(),
+              util::FormatFloat(before.downstream, 2).c_str());
+  std::printf("%-22s %8s %8s %10s %11s\n", "InfuserKI",
+              util::FormatFloat(after.nr, 2).c_str(),
+              util::FormatFloat(after.rr, 2).c_str(),
+              util::FormatFloat(after.f1_unseen, 2).c_str(),
+              util::FormatFloat(after.downstream, 2).c_str());
+  std::printf(
+      "\nInfuserKI added %zu trainable parameters; the base model's %zu "
+      "parameters stayed frozen.\n",
+      method.NumTrainableParameters(), lm->NumParameters());
+  std::printf(
+      "Expected shape: NR near 1 (new facts learned) with RR near 1 "
+      "(known facts kept).\n");
+  return 0;
+}

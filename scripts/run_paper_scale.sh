@@ -1,0 +1,17 @@
+#!/bin/sh
+# Paper-scale reproduction runs. These use the full KG sizes from the
+# paper (hours-to-days on a single CPU core; size the machine accordingly
+# or scale --triplets down). The smoke-scale defaults used by CI are the
+# bare binaries with no flags.
+set -eu
+
+BENCH_DIR="${1:-build/bench}"
+
+"$BENCH_DIR/bench_table1_umls"    --triplets=2500  --epochs=60 --infuserki_qa_epochs=140 --eval_cap=200 --downstream_cap=150
+"$BENCH_DIR/bench_table2_metaqa"  --triplets=2900  --epochs=60 --infuserki_qa_epochs=140 --eval_cap=200 --downstream_cap=150
+"$BENCH_DIR/bench_table3_umls25k" --triplets=25000 --epochs=60 --infuserki_qa_epochs=140 --eval_cap=200 --downstream_cap=150
+"$BENCH_DIR/bench_table4_ablation"        --triplets=2500 --infuserki_qa_epochs=140 --eval_cap=200
+"$BENCH_DIR/bench_fig1_tsne"              --triplets=2500 --eval_cap=150
+"$BENCH_DIR/bench_fig5_adapter_position"  --triplets=2500 --infuserki_qa_epochs=140 --eval_cap=200
+"$BENCH_DIR/bench_fig6_infusing_scores"   --triplets=2500 --infuserki_qa_epochs=140
+"$BENCH_DIR/bench_fig7_case_study"        --triplets=2500 --infuserki_qa_epochs=140

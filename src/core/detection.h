@@ -1,0 +1,53 @@
+#ifndef INFUSERKI_CORE_DETECTION_H_
+#define INFUSERKI_CORE_DETECTION_H_
+
+#include <vector>
+
+#include "kg/mcq.h"
+#include "model/generation.h"
+#include "model/transformer.h"
+#include "text/tokenizer.h"
+
+namespace infuserki::core {
+
+/// Result of the knowledge-detection step (§3.2, Fig. 3): the triplet
+/// indices the LM answers correctly (T_known = N1+N2) and incorrectly
+/// (T_unk = N3+N4).
+struct DetectionResult {
+  std::vector<size_t> known;
+  std::vector<size_t> unknown;
+  std::vector<char> is_known;  // indexed by triplet index
+
+  double KnownFraction() const {
+    return is_known.empty()
+               ? 0.0
+               : static_cast<double>(known.size()) /
+                     static_cast<double>(is_known.size());
+  }
+};
+
+/// How MCQ answers are decided during detection and evaluation.
+enum class AnswerMode {
+  kLikelihood,  // option-likelihood scoring (default; see DESIGN.md)
+  kGeneration,  // greedy decode + regex-style extraction (paper-faithful)
+};
+
+/// Runs knowledge detection: converts every triplet into a template-T1 MCQ,
+/// asks the (optionally hook-adapted) model, and splits the KG into known
+/// and unknown triplets.
+DetectionResult DetectKnowledge(const model::TransformerLM& lm,
+                                const text::Tokenizer& tokenizer,
+                                const std::vector<kg::Mcq>& questions,
+                                AnswerMode mode = AnswerMode::kLikelihood,
+                                const model::ForwardOptions& options = {});
+
+/// Answers a single MCQ; returns the chosen option index (or -1 when the
+/// generation path extracts nothing).
+int AnswerMcq(const model::TransformerLM& lm,
+              const text::Tokenizer& tokenizer, const kg::Mcq& mcq,
+              AnswerMode mode = AnswerMode::kLikelihood,
+              const model::ForwardOptions& options = {});
+
+}  // namespace infuserki::core
+
+#endif  // INFUSERKI_CORE_DETECTION_H_

@@ -1,0 +1,177 @@
+#include "eval/downstream.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "model/generation.h"
+#include "util/logging.h"
+
+namespace infuserki::eval {
+
+std::vector<ClaimItem> BuildClaimVerificationTask(
+    const kg::KnowledgeGraph& kg, const kg::TemplateEngine& templates,
+    const std::vector<size_t>& triplet_indices, util::Rng* rng) {
+  std::vector<ClaimItem> items;
+  items.reserve(triplet_indices.size());
+  for (size_t index : triplet_indices) {
+    const kg::Triplet& triplet = kg.triplets()[index];
+    ClaimItem item;
+    item.triplet_index = index;
+    bool corrupt = rng->Bernoulli(0.5);
+    std::string statement;
+    if (corrupt) {
+      const std::vector<int>& pool = kg.TailPool(triplet.relation);
+      int fake = triplet.tail;
+      for (int attempt = 0; attempt < 20 && fake == triplet.tail;
+           ++attempt) {
+        fake = rng->Choice(pool);
+      }
+      if (fake == triplet.tail) {
+        corrupt = false;  // degenerate pool: keep the true claim
+      } else {
+        kg::Triplet corrupted = triplet;
+        corrupted.tail = fake;
+        statement = templates.Statement(kg, corrupted);
+      }
+    }
+    if (!corrupt) statement = templates.Statement(kg, triplet);
+    item.label = !corrupt;
+    item.prompt = "it is claimed that " + statement +
+                  " is this claim true ? answer :";
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+double EvaluateClaimTask(const model::TransformerLM& lm,
+                         const text::Tokenizer& tokenizer,
+                         const std::vector<ClaimItem>& items,
+                         const model::ForwardOptions& options) {
+  CHECK(!items.empty());
+  std::vector<int> predictions;
+  std::vector<int> labels;
+  const std::vector<std::string> yes_no = {"no", "yes"};
+  for (const ClaimItem& item : items) {
+    model::OptionScores scores =
+        model::ScoreOptions(lm, tokenizer, item.prompt, yes_no, options);
+    predictions.push_back(scores.best);
+    labels.push_back(item.label ? 1 : 0);
+  }
+  return BinaryMacroF1(predictions, labels);
+}
+
+std::vector<OneHopItem> Build1HopTask(const kg::KnowledgeGraph& kg,
+                                      const kg::TemplateEngine& templates,
+                                      const std::vector<size_t>& indices,
+                                      size_t max_candidates,
+                                      util::Rng* rng) {
+  CHECK_GE(max_candidates, size_t{2});
+  std::vector<OneHopItem> items;
+  items.reserve(indices.size());
+  for (size_t index : indices) {
+    const kg::Triplet& triplet = kg.triplets()[index];
+    OneHopItem item;
+    item.triplet_index = index;
+    // Unseen template (T4) phrased as an open question, no options shown.
+    item.prompt = "question : " +
+                  templates.Question(kg, triplet, /*template_id=*/4) +
+                  " answer :";
+    std::vector<int> pool;
+    for (int id : kg.TailPool(triplet.relation)) {
+      if (id != triplet.tail) pool.push_back(id);
+    }
+    rng->Shuffle(&pool);
+    if (pool.size() > max_candidates - 1) pool.resize(max_candidates - 1);
+    pool.push_back(triplet.tail);
+    rng->Shuffle(&pool);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      item.candidates.push_back(kg.entity(pool[i]).name);
+      if (pool[i] == triplet.tail) item.gold = static_cast<int>(i);
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<TwoHopItem> Build2HopTask(const kg::KnowledgeGraph& kg,
+                                      const kg::TemplateEngine& templates,
+                                      size_t max_items,
+                                      size_t max_candidates,
+                                      util::Rng* rng) {
+  CHECK_GE(max_candidates, size_t{2});
+  // Index triplets by head for the second hop.
+  std::vector<TwoHopItem> items;
+  const std::vector<kg::Triplet>& triplets = kg.triplets();
+  for (size_t first = 0;
+       first < triplets.size() && items.size() < max_items; ++first) {
+    const kg::Triplet& hop1 = triplets[first];
+    if (hop1.tail == hop1.head) continue;
+    for (size_t second = 0;
+         second < triplets.size() && items.size() < max_items; ++second) {
+      const kg::Triplet& hop2 = triplets[second];
+      if (hop2.head != hop1.tail) continue;
+      if (hop2.relation == hop1.relation) continue;
+      if (hop2.tail == hop1.head) continue;
+      TwoHopItem item;
+      item.first_triplet = first;
+      item.second_triplet = second;
+      // Compositional phrasing: the bridge entity is referred to through
+      // hop 1 ("the <r1> of X") instead of by name.
+      item.prompt = "question : what is the " +
+                    kg.relation(hop2.relation).surface + " of the " +
+                    kg.relation(hop1.relation).surface + " of " +
+                    kg.entity(hop1.head).name + " ? answer :";
+      std::vector<int> pool;
+      for (int id : kg.TailPool(hop2.relation)) {
+        if (id != hop2.tail) pool.push_back(id);
+      }
+      if (pool.empty()) continue;
+      rng->Shuffle(&pool);
+      if (pool.size() > max_candidates - 1) {
+        pool.resize(max_candidates - 1);
+      }
+      pool.push_back(hop2.tail);
+      rng->Shuffle(&pool);
+      for (size_t i = 0; i < pool.size(); ++i) {
+        item.candidates.push_back(kg.entity(pool[i]).name);
+        if (pool[i] == hop2.tail) item.gold = static_cast<int>(i);
+      }
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+double Evaluate2HopTask(const model::TransformerLM& lm,
+                        const text::Tokenizer& tokenizer,
+                        const std::vector<TwoHopItem>& items,
+                        const model::ForwardOptions& options) {
+  CHECK(!items.empty());
+  std::vector<int> predictions;
+  std::vector<int> labels;
+  for (const TwoHopItem& item : items) {
+    model::OptionScores scores = model::ScoreOptions(
+        lm, tokenizer, item.prompt, item.candidates, options);
+    predictions.push_back(scores.best);
+    labels.push_back(item.gold);
+  }
+  return Accuracy(predictions, labels);
+}
+
+double Evaluate1HopTask(const model::TransformerLM& lm,
+                        const text::Tokenizer& tokenizer,
+                        const std::vector<OneHopItem>& items,
+                        const model::ForwardOptions& options) {
+  CHECK(!items.empty());
+  std::vector<int> predictions;
+  std::vector<int> labels;
+  for (const OneHopItem& item : items) {
+    model::OptionScores scores = model::ScoreOptions(
+        lm, tokenizer, item.prompt, item.candidates, options);
+    predictions.push_back(scores.best);
+    labels.push_back(item.gold);
+  }
+  return Accuracy(predictions, labels);
+}
+
+}  // namespace infuserki::eval

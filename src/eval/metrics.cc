@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace infuserki::eval {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  CHECK_EQ(predictions.size(), labels.size());
+  CHECK(!predictions.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+double BinaryMacroF1(const std::vector<int>& predictions,
+                     const std::vector<int>& labels) {
+  CHECK_EQ(predictions.size(), labels.size());
+  CHECK(!predictions.empty());
+  double f1_sum = 0.0;
+  for (int cls = 0; cls <= 1; ++cls) {
+    size_t tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < predictions.size(); ++i) {
+      bool predicted = predictions[i] == cls;
+      bool actual = labels[i] == cls;
+      if (predicted && actual) ++tp;
+      if (predicted && !actual) ++fp;
+      if (!predicted && actual) ++fn;
+    }
+    double denom = static_cast<double>(2 * tp + fp + fn);
+    f1_sum += denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+  }
+  return f1_sum / 2.0;
+}
+
+double MeanRate(const std::vector<char>& outcomes) {
+  if (outcomes.empty()) return 0.0;
+  size_t hits = 0;
+  for (char outcome : outcomes) {
+    if (outcome) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(outcomes.size());
+}
+
+}  // namespace infuserki::eval

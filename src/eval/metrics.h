@@ -1,0 +1,25 @@
+#ifndef INFUSERKI_EVAL_METRICS_H_
+#define INFUSERKI_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace infuserki::eval {
+
+/// Accuracy over single-label predictions. For one-prediction-per-sample
+/// multiple choice this equals micro-F1, which is how the paper's
+/// F1_T1..F1_T5 columns are computed here.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+/// Macro-F1 over the two classes of a binary task (the downstream yes/no
+/// metric). Predictions/labels are 0/1.
+double BinaryMacroF1(const std::vector<int>& predictions,
+                     const std::vector<int>& labels);
+
+/// Mean of a 0/1 outcome vector; used for NR and RR.
+double MeanRate(const std::vector<char>& outcomes);
+
+}  // namespace infuserki::eval
+
+#endif  // INFUSERKI_EVAL_METRICS_H_

@@ -1,0 +1,217 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace infuserki::eval {
+namespace {
+
+// Squared Euclidean distances, N x N.
+std::vector<double> PairwiseSq(const std::vector<double>& x, size_t n,
+                               size_t dim) {
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t c = 0; c < dim; ++c) {
+        double diff = x[i * dim + c] - x[j * dim + c];
+        s += diff * diff;
+      }
+      d[i * n + j] = s;
+      d[j * n + i] = s;
+    }
+  }
+  return d;
+}
+
+// Row conditional probabilities with per-row bandwidth found by binary
+// search on the target perplexity.
+std::vector<double> ConditionalP(const std::vector<double>& dist_sq,
+                                 size_t n, double perplexity) {
+  std::vector<double> p(n * n, 0.0);
+  double target_entropy = std::log(perplexity);
+  for (size_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e18;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double w = std::exp(-dist_sq[i * n + j] * beta);
+        p[i * n + j] = w;
+        sum += w;
+        weighted += w * dist_sq[i * n + j];
+      }
+      if (sum <= 0.0) break;
+      // Shannon entropy of the row distribution.
+      double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::fabs(entropy - target_entropy) < 1e-4) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi > 1e17 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) sum += p[i * n + j];
+    if (sum > 0.0) {
+      for (size_t j = 0; j < n; ++j) p[i * n + j] /= sum;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> PcaProject(const std::vector<double>& points, size_t n,
+                               size_t dim, size_t k, uint64_t seed) {
+  CHECK_GT(n, size_t{1});
+  CHECK_GE(dim, k);
+  // Center the data.
+  std::vector<double> centered = points;
+  for (size_t c = 0; c < dim; ++c) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += centered[i * dim + c];
+    mean /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) centered[i * dim + c] -= mean;
+  }
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> components;
+  for (size_t comp = 0; comp < k; ++comp) {
+    std::vector<double> v(dim);
+    for (double& x : v) x = rng.Normal();
+    for (int iter = 0; iter < 100; ++iter) {
+      // w = X^T X v  (covariance power iteration without forming X^T X).
+      std::vector<double> xv(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < dim; ++c) {
+          xv[i] += centered[i * dim + c] * v[c];
+        }
+      }
+      std::vector<double> w(dim, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < dim; ++c) {
+          w[c] += centered[i * dim + c] * xv[i];
+        }
+      }
+      // Deflate previously found components.
+      for (const std::vector<double>& prev : components) {
+        double dot = 0.0;
+        for (size_t c = 0; c < dim; ++c) dot += w[c] * prev[c];
+        for (size_t c = 0; c < dim; ++c) w[c] -= dot * prev[c];
+      }
+      double norm = 0.0;
+      for (double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (size_t c = 0; c < dim; ++c) v[c] = w[c] / norm;
+    }
+    components.push_back(v);
+  }
+  std::vector<double> projected(n * k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t comp = 0; comp < k; ++comp) {
+      double dot = 0.0;
+      for (size_t c = 0; c < dim; ++c) {
+        dot += centered[i * dim + c] * components[comp][c];
+      }
+      projected[i * k + comp] = dot;
+    }
+  }
+  return projected;
+}
+
+std::vector<double> Tsne(const std::vector<double>& points, size_t n,
+                         size_t dim, const TsneOptions& options) {
+  CHECK_GT(n, size_t{2});
+  CHECK_EQ(points.size(), n * dim);
+
+  std::vector<double> dist_sq = PairwiseSq(points, n, dim);
+  std::vector<double> cond = ConditionalP(dist_sq, n, options.perplexity);
+  // Symmetrized joint probabilities.
+  std::vector<double> p(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      p[i * n + j] = std::max(
+          (cond[i * n + j] + cond[j * n + i]) / (2.0 * static_cast<double>(n)),
+          1e-12);
+    }
+  }
+
+  // PCA init, scaled to small coordinates.
+  std::vector<double> y = PcaProject(points, n, dim, 2, options.seed);
+  double max_abs = 1e-12;
+  for (double v : y) max_abs = std::max(max_abs, std::fabs(v));
+  for (double& v : y) v = v / max_abs * 1e-2;
+
+  std::vector<double> velocity(n * 2, 0.0);
+  std::vector<double> grad(n * 2, 0.0);
+  std::vector<double> q(n * n, 0.0);
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double dy0 = y[i * 2] - y[j * 2];
+        double dy1 = y[i * 2 + 1] - y[j * 2 + 1];
+        double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double w = q[i * n + j];
+        double q_ij = std::max(w / q_sum, 1e-12);
+        double coeff =
+            4.0 * (exaggeration * p[i * n + j] - q_ij) * w;
+        grad[i * 2] += coeff * (y[i * 2] - y[j * 2]);
+        grad[i * 2 + 1] += coeff * (y[i * 2 + 1] - y[j * 2 + 1]);
+      }
+    }
+    for (size_t i = 0; i < n * 2; ++i) {
+      velocity[i] = options.momentum * velocity[i] -
+                    options.learning_rate * grad[i];
+      y[i] += velocity[i];
+    }
+  }
+  return y;
+}
+
+double SeparationRatio(const std::vector<double>& coords, size_t n,
+                       size_t dim, const std::vector<int>& labels) {
+  CHECK_EQ(labels.size(), n);
+  CHECK_EQ(coords.size(), n * dim);
+  double intra = 0.0, inter = 0.0;
+  size_t intra_count = 0, inter_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t c = 0; c < dim; ++c) {
+        double d = coords[i * dim + c] - coords[j * dim + c];
+        s += d * d;
+      }
+      s = std::sqrt(s);
+      if (labels[i] == labels[j]) {
+        intra += s;
+        ++intra_count;
+      } else {
+        inter += s;
+        ++inter_count;
+      }
+    }
+  }
+  if (intra_count == 0 || inter_count == 0 || intra == 0.0) return 0.0;
+  return (inter / static_cast<double>(inter_count)) /
+         (intra / static_cast<double>(intra_count));
+}
+
+}  // namespace infuserki::eval

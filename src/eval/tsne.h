@@ -1,0 +1,42 @@
+#ifndef INFUSERKI_EVAL_TSNE_H_
+#define INFUSERKI_EVAL_TSNE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace infuserki::eval {
+
+/// Options for the exact (O(N^2)) t-SNE used to reproduce Fig. 1.
+struct TsneOptions {
+  double perplexity = 15.0;
+  size_t iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;
+  size_t exaggeration_iters = 80;
+  uint64_t seed = 3;
+};
+
+/// Projects `points` (row-major N x dim) to `coords` (N x 2). PCA provides
+/// the initialization, then standard Kullback-Leibler gradient descent with
+/// momentum runs (van der Maaten & Hinton, 2008).
+std::vector<double> Tsne(const std::vector<double>& points, size_t n,
+                         size_t dim, const TsneOptions& options);
+
+/// Top-`k` principal component projection of `points` (N x dim) ->
+/// (N x k), computed by power iteration with deflation.
+std::vector<double> PcaProject(const std::vector<double>& points, size_t n,
+                               size_t dim, size_t k, uint64_t seed = 3);
+
+/// Cluster-separation diagnostic for a binary labeling of embedded points:
+/// mean inter-class distance divided by mean intra-class distance. Larger
+/// means better-separated groups (the numeric counterpart of "the clusters
+/// in Fig. 1 look separated").
+double SeparationRatio(const std::vector<double>& coords, size_t n,
+                       size_t dim, const std::vector<int>& labels);
+
+}  // namespace infuserki::eval
+
+#endif  // INFUSERKI_EVAL_TSNE_H_

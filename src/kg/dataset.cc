@@ -1,0 +1,110 @@
+#include "kg/dataset.h"
+
+#include "util/logging.h"
+
+namespace infuserki::kg {
+
+DatasetBuilder::DatasetBuilder(const KnowledgeGraph* kg,
+                               const TemplateEngine* templates)
+    : kg_(kg), templates_(templates), mcq_builder_(kg, templates) {}
+
+std::vector<QaSample> DatasetBuilder::BuildQa(
+    const std::vector<size_t>& triplet_indices, int template_id,
+    util::Rng* rng) const {
+  std::vector<QaSample> out;
+  out.reserve(triplet_indices.size());
+  for (size_t index : triplet_indices) {
+    QaSample sample;
+    sample.triplet_index = index;
+    sample.template_id = template_id;
+    sample.mcq = mcq_builder_.Build(index, template_id, rng);
+    sample.prompt = FormatQuestionPrompt(sample.mcq);
+    sample.response = McqGoldResponse(sample.mcq);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<StatementSample> DatasetBuilder::BuildStatements(
+    const std::vector<size_t>& triplet_indices) const {
+  std::vector<StatementSample> out;
+  out.reserve(triplet_indices.size());
+  for (size_t index : triplet_indices) {
+    CHECK_LT(index, kg_->num_triplets());
+    const Triplet& triplet = kg_->triplets()[index];
+    out.push_back({index, templates_->Statement(*kg_, triplet)});
+  }
+  return out;
+}
+
+std::vector<YesNoSample> DatasetBuilder::BuildYesNo(
+    const std::vector<size_t>& triplet_indices, util::Rng* rng) const {
+  std::vector<YesNoSample> out;
+  out.reserve(triplet_indices.size());
+  for (size_t index : triplet_indices) {
+    CHECK_LT(index, kg_->num_triplets());
+    const Triplet& triplet = kg_->triplets()[index];
+    YesNoSample sample;
+    sample.triplet_index = index;
+    bool positive = rng->Bernoulli(0.5);
+    if (positive) {
+      sample.prompt =
+          templates_->YesNoQuestion(*kg_, triplet) + " answer :";
+      sample.answer = true;
+    } else {
+      const std::vector<int>& pool = kg_->TailPool(triplet.relation);
+      int fake = triplet.tail;
+      for (int attempt = 0; attempt < 20 && fake == triplet.tail;
+           ++attempt) {
+        fake = rng->Choice(pool);
+      }
+      if (fake == triplet.tail) {
+        // Degenerate pool; keep the positive phrasing.
+        sample.prompt =
+            templates_->YesNoQuestion(*kg_, triplet) + " answer :";
+        sample.answer = true;
+      } else {
+        sample.prompt =
+            templates_->YesNoQuestion(*kg_, triplet, fake) + " answer :";
+        sample.answer = false;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<std::string> FillerSentences(size_t count, util::Rng* rng) {
+  static const char* const kSubjects[] = {
+      "the committee", "a recent study",  "the laboratory", "the archive",
+      "the survey",    "the department",  "a field report", "the council",
+  };
+  static const char* const kVerbs[] = {
+      "reviewed", "documented", "summarized", "examined",
+      "compared", "catalogued", "released",   "evaluated",
+  };
+  static const char* const kObjects[] = {
+      "the annual records",   "several open questions",
+      "the updated findings", "a series of observations",
+      "the collected notes",  "the standard procedures",
+      "the revised guidelines", "multiple earlier reports",
+  };
+  static const char* const kTails[] = {
+      "last year .",       "in great detail .", "for the board .",
+      "without delay .",   "as planned .",      "across regions .",
+      "with new methods .", "in a short memo .",
+  };
+  auto pick = [&](const char* const* bank, size_t n) {
+    return bank[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(n) - 1))];
+  };
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(std::string(pick(kSubjects, 8)) + " " + pick(kVerbs, 8) +
+                  " " + pick(kObjects, 8) + " " + pick(kTails, 8));
+  }
+  return out;
+}
+
+}  // namespace infuserki::kg

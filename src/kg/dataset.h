@@ -1,0 +1,76 @@
+#ifndef INFUSERKI_KG_DATASET_H_
+#define INFUSERKI_KG_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/graph.h"
+#include "kg/mcq.h"
+#include "kg/templates.h"
+#include "util/rng.h"
+
+namespace infuserki::kg {
+
+/// One QA training/eval sample: a prompt (MCQ format) and the gold
+/// response (the answer option's text).
+struct QaSample {
+  size_t triplet_index = 0;
+  int template_id = 1;
+  std::string prompt;
+  std::string response;
+  Mcq mcq;
+};
+
+/// One next-token-loss sample built from a knowledge statement (used by
+/// the RC training phase, Eq. 10).
+struct StatementSample {
+  size_t triplet_index = 0;
+  std::string text;
+};
+
+/// One yes/no QA sample (the paper mixes a small set of these into QA
+/// training to improve generality over question types).
+struct YesNoSample {
+  size_t triplet_index = 0;
+  std::string prompt;
+  bool answer = true;
+};
+
+/// Builds the textual corpus pieces the experiments need from a KG.
+class DatasetBuilder {
+ public:
+  DatasetBuilder(const KnowledgeGraph* kg, const TemplateEngine* templates);
+
+  /// MCQ-formatted QA samples for `triplet_indices` under one template.
+  /// Distractors are resampled per call via `rng`.
+  std::vector<QaSample> BuildQa(const std::vector<size_t>& triplet_indices,
+                                int template_id, util::Rng* rng) const;
+
+  /// Knowledge statements for `triplet_indices`.
+  std::vector<StatementSample> BuildStatements(
+      const std::vector<size_t>& triplet_indices) const;
+
+  /// Yes/no samples; each triplet yields a positive sample and, with
+  /// probability 0.5, the sample is flipped to a negative one by
+  /// substituting a random same-relation tail.
+  std::vector<YesNoSample> BuildYesNo(
+      const std::vector<size_t>& triplet_indices, util::Rng* rng) const;
+
+  const KnowledgeGraph& kg() const { return *kg_; }
+  const TemplateEngine& templates() const { return *templates_; }
+  const McqBuilder& mcq_builder() const { return mcq_builder_; }
+
+ private:
+  const KnowledgeGraph* kg_;
+  const TemplateEngine* templates_;
+  McqBuilder mcq_builder_;
+};
+
+/// Generic filler sentences for base-LM pretraining, so the vanilla model
+/// sees language beyond bare facts (stabilizes the tokenizer distribution
+/// and makes "unknown" questions genuinely unknown rather than ill-formed).
+std::vector<std::string> FillerSentences(size_t count, util::Rng* rng);
+
+}  // namespace infuserki::kg
+
+#endif  // INFUSERKI_KG_DATASET_H_

@@ -1,0 +1,81 @@
+#include "kg/io.h"
+
+#include <fstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace infuserki::kg {
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+util::Status SaveTsv(const KnowledgeGraph& kg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::Internal("cannot open " + path);
+  for (size_t r = 0; r < kg.num_relations(); ++r) {
+    const Relation& relation = kg.relation(static_cast<int>(r));
+    out << "#relation\t" << relation.name << "\t" << relation.surface
+        << "\n";
+  }
+  for (const Triplet& triplet : kg.triplets()) {
+    out << kg.entity(triplet.head).name << "\t"
+        << kg.relation(triplet.relation).name << "\t"
+        << kg.entity(triplet.tail).name << "\n";
+  }
+  out.flush();
+  if (!out) return util::Status::DataLoss("short write to " + path);
+  return util::Status::OK();
+}
+
+util::StatusOr<KnowledgeGraph> LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  KnowledgeGraph kg;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields[0] == "#relation") {
+      if (fields.size() != 3) {
+        return util::Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) +
+            ": malformed relation header");
+      }
+      kg.AddRelation(fields[1], fields[2]);
+      continue;
+    }
+    if (fields.size() != 3) {
+      return util::Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": expected head\\trelation\\ttail");
+    }
+    int head = kg.AddEntity(fields[0]);
+    int relation = kg.FindRelation(fields[1]);
+    if (relation < 0) relation = kg.AddRelation(fields[1], fields[1]);
+    int tail = kg.AddEntity(fields[2]);
+    util::Status status = kg.AddTriplet(head, relation, tail);
+    if (!status.ok()) {
+      return util::Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": " +
+          status.message());
+    }
+  }
+  return kg;
+}
+
+}  // namespace infuserki::kg

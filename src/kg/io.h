@@ -1,0 +1,23 @@
+#ifndef INFUSERKI_KG_IO_H_
+#define INFUSERKI_KG_IO_H_
+
+#include <string>
+
+#include "kg/graph.h"
+#include "util/status.h"
+
+namespace infuserki::kg {
+
+/// Writes a KG as tab-separated triples: one "head\trelation\ttail" line
+/// per triplet, preceded by "#relation\tname\tsurface" header lines so the
+/// relation surfaces survive a round trip.
+util::Status SaveTsv(const KnowledgeGraph& kg, const std::string& path);
+
+/// Loads a KG written by SaveTsv (or any plain head\trelation\ttail file;
+/// unknown relations get their name as surface). Duplicate (head,
+/// relation) pairs are rejected with the offending line number.
+util::StatusOr<KnowledgeGraph> LoadTsv(const std::string& path);
+
+}  // namespace infuserki::kg
+
+#endif  // INFUSERKI_KG_IO_H_

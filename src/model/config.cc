@@ -1,0 +1,35 @@
+#include "model/config.h"
+
+#include <sstream>
+
+namespace infuserki::model {
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // FNV-1a style mixing.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t TransformerConfig::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = HashCombine(h, vocab_size);
+  h = HashCombine(h, dim);
+  h = HashCombine(h, num_layers);
+  h = HashCombine(h, num_heads);
+  h = HashCombine(h, ffn_hidden);
+  h = HashCombine(h, max_seq_len);
+  return h;
+}
+
+std::string TransformerConfig::ToString() const {
+  std::ostringstream os;
+  os << "TransformerConfig{vocab=" << vocab_size << ", dim=" << dim
+     << ", layers=" << num_layers << ", heads=" << num_heads
+     << ", ffn_hidden=" << ffn_hidden << ", max_seq=" << max_seq_len << "}";
+  return os.str();
+}
+
+}  // namespace infuserki::model

@@ -1,0 +1,33 @@
+#ifndef INFUSERKI_MODEL_CONFIG_H_
+#define INFUSERKI_MODEL_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace infuserki::model {
+
+/// Architecture of the decoder-only base LM.
+///
+/// The default is the simulator-scale stand-in for LLaMa-2-7B used across
+/// the experiments: the depth/width are scaled down but the block structure
+/// (pre-RMSNorm, multi-head causal attention, SwiGLU FFN, tied embeddings)
+/// matches, so FFN-parallel adapters and internal-state gating attach in
+/// exactly the places the paper describes.
+struct TransformerConfig {
+  size_t vocab_size = 0;   // set from the tokenizer
+  size_t dim = 80;         // hidden size d
+  size_t num_layers = 12;  // L
+  size_t num_heads = 4;
+  size_t ffn_hidden = 160;  // SwiGLU inner width
+  size_t max_seq_len = 96;  // learned positional table size
+
+  /// Stable hash over all fields (model-cache key component).
+  uint64_t Fingerprint() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_CONFIG_H_

@@ -1,0 +1,190 @@
+#include "model/generation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace infuserki::model {
+
+using tensor::NoGradGuard;
+using tensor::Tensor;
+
+std::vector<int> GreedyDecode(const TransformerLM& lm,
+                              const std::vector<int>& prompt_ids,
+                              size_t max_new_tokens,
+                              const ForwardOptions& options) {
+  NoGradGuard no_grad;
+  std::vector<int> sequence = prompt_ids;
+  std::vector<int> generated;
+  for (size_t step = 0; step < max_new_tokens; ++step) {
+    if (sequence.size() >= lm.config().max_seq_len) break;
+    Tensor logits = lm.Logits(sequence, options);
+    size_t last = logits.dim(0) - 1;
+    size_t vocab = logits.dim(1);
+    const float* row = logits.data() + last * vocab;
+    int best = 0;
+    for (size_t v = 1; v < vocab; ++v) {
+      if (row[v] > row[best]) best = static_cast<int>(v);
+    }
+    if (best == text::kEosId) break;
+    generated.push_back(best);
+    sequence.push_back(best);
+  }
+  return generated;
+}
+
+std::vector<int> SampleDecode(const TransformerLM& lm,
+                              const std::vector<int>& prompt_ids,
+                              size_t max_new_tokens, util::Rng* rng,
+                              float temperature, size_t top_k,
+                              const ForwardOptions& options) {
+  CHECK(rng != nullptr);
+  if (temperature <= 0.0f) {
+    return GreedyDecode(lm, prompt_ids, max_new_tokens, options);
+  }
+  NoGradGuard no_grad;
+  std::vector<int> sequence = prompt_ids;
+  std::vector<int> generated;
+  for (size_t step = 0; step < max_new_tokens; ++step) {
+    if (sequence.size() >= lm.config().max_seq_len) break;
+    Tensor logits = lm.Logits(sequence, options);
+    size_t last = logits.dim(0) - 1;
+    size_t vocab = logits.dim(1);
+    const float* row = logits.data() + last * vocab;
+    // Collect (logit, id), optionally truncated to the top-k.
+    std::vector<std::pair<float, int>> candidates;
+    candidates.reserve(vocab);
+    for (size_t v = 0; v < vocab; ++v) {
+      candidates.emplace_back(row[v], static_cast<int>(v));
+    }
+    if (top_k > 0 && top_k < vocab) {
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() + static_cast<long>(top_k),
+                        candidates.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                        });
+      candidates.resize(top_k);
+    }
+    float mx = candidates[0].first;
+    for (const auto& [logit, id] : candidates) mx = std::max(mx, logit);
+    double total = 0.0;
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (const auto& [logit, id] : candidates) {
+      double w = std::exp(static_cast<double>(logit - mx) / temperature);
+      weights.push_back(w);
+      total += w;
+    }
+    double draw = rng->Uniform(0.0, total);
+    int chosen = candidates.back().second;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      draw -= weights[i];
+      if (draw <= 0.0) {
+        chosen = candidates[i].second;
+        break;
+      }
+    }
+    if (chosen == text::kEosId) break;
+    generated.push_back(chosen);
+    sequence.push_back(chosen);
+  }
+  return generated;
+}
+
+double SequenceLogProb(const TransformerLM& lm,
+                       const std::vector<int>& prompt_ids,
+                       const std::vector<int>& continuation_ids,
+                       const ForwardOptions& options) {
+  CHECK(!prompt_ids.empty());
+  CHECK(!continuation_ids.empty());
+  NoGradGuard no_grad;
+  std::vector<int> full = prompt_ids;
+  full.insert(full.end(), continuation_ids.begin(), continuation_ids.end());
+  CHECK_LE(full.size(), lm.config().max_seq_len)
+      << "scored sequence exceeds max_seq_len";
+  // Drop the final token from the input: its next-token prediction is not
+  // needed, and positions prompt_len-1 .. end-2 predict the continuation.
+  std::vector<int> inputs(full.begin(), full.end() - 1);
+  Tensor logits = lm.Logits(inputs, options);
+  size_t vocab = logits.dim(1);
+  double total = 0.0;
+  for (size_t i = 0; i < continuation_ids.size(); ++i) {
+    size_t position = prompt_ids.size() - 1 + i;
+    const float* row = logits.data() + position * vocab;
+    float mx = row[0];
+    for (size_t v = 1; v < vocab; ++v) mx = std::max(mx, row[v]);
+    double sum = 0.0;
+    for (size_t v = 0; v < vocab; ++v) {
+      sum += std::exp(static_cast<double>(row[v]) - mx);
+    }
+    int target = continuation_ids[i];
+    total += static_cast<double>(row[target]) - mx - std::log(sum);
+  }
+  return total;
+}
+
+OptionScores ScoreOptions(const TransformerLM& lm,
+                          const text::Tokenizer& tokenizer,
+                          const std::string& prompt,
+                          const std::vector<std::string>& options_text,
+                          const ForwardOptions& options) {
+  CHECK(!options_text.empty());
+  std::vector<int> prompt_ids = tokenizer.EncodeWithSpecials(prompt, false);
+  OptionScores scores;
+  scores.log_probs.reserve(options_text.size());
+  std::vector<double> normalized;
+  normalized.reserve(options_text.size());
+  for (const std::string& option : options_text) {
+    std::vector<int> continuation = tokenizer.Encode(option);
+    CHECK(!continuation.empty()) << "empty option text";
+    double lp = SequenceLogProb(lm, prompt_ids, continuation, options);
+    scores.log_probs.push_back(lp);
+    normalized.push_back(lp / static_cast<double>(continuation.size()));
+  }
+  scores.best = static_cast<int>(
+      std::max_element(normalized.begin(), normalized.end()) -
+      normalized.begin());
+  // Softmax over raw sums: the "probability mass over candidate choices"
+  // view shown in the paper's case study.
+  double mx = *std::max_element(scores.log_probs.begin(),
+                                scores.log_probs.end());
+  double denom = 0.0;
+  for (double lp : scores.log_probs) denom += std::exp(lp - mx);
+  for (double lp : scores.log_probs) {
+    scores.probabilities.push_back(std::exp(lp - mx) / denom);
+  }
+  return scores;
+}
+
+int ExtractChosenOption(const TransformerLM& lm,
+                        const text::Tokenizer& tokenizer,
+                        const std::string& prompt,
+                        const std::vector<std::string>& options_text,
+                        const ForwardOptions& options) {
+  std::vector<int> prompt_ids = tokenizer.EncodeWithSpecials(prompt, false);
+  std::vector<int> generated = GreedyDecode(lm, prompt_ids, 12, options);
+  std::string response = tokenizer.Decode(generated);
+  // Letter form: "( a )" etc.
+  for (size_t i = 0; i < options_text.size(); ++i) {
+    std::string letter =
+        std::string("( ") + static_cast<char>('a' + i) + " )";
+    if (util::Contains(response, letter)) return static_cast<int>(i);
+  }
+  // Fall back to option-text containment, longest match first so nested
+  // option names resolve to the most specific one.
+  int best = -1;
+  size_t best_len = 0;
+  for (size_t i = 0; i < options_text.size(); ++i) {
+    const std::string needle = util::ToLower(options_text[i]);
+    if (needle.size() > best_len && util::Contains(response, needle)) {
+      best = static_cast<int>(i);
+      best_len = needle.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace infuserki::model

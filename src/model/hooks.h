@@ -1,0 +1,73 @@
+#ifndef INFUSERKI_MODEL_HOOKS_H_
+#define INFUSERKI_MODEL_HOOKS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace infuserki::model {
+
+/// Extension point for modules running parallel to the FFN sublayer.
+///
+/// For each transformer layer the model calls FfnDelta() with H_P^l, the
+/// FFN sublayer input (the paper's notation, Eq. 1); whatever tensor the
+/// hook returns is added to the FFN output before the residual connection
+/// (Eqs. 3/6). Returning an undefined Tensor means "no contribution at
+/// this layer". InfuserKI's gated knowledge adapters, CALINET's calibration
+/// adapter and T-Patcher's patch neurons are all implemented as FfnHooks.
+class FfnHook {
+ public:
+  virtual ~FfnHook() = default;
+
+  /// Called once per forward pass before any layer runs; stateful hooks
+  /// (e.g. InfuserKI's cross-layer adapter chain) reset here.
+  virtual void BeginForward() {}
+
+  /// `layer` is 0-based. `ffn_input` is H_P^l with shape [T, D].
+  virtual tensor::Tensor FfnDelta(int layer,
+                                  const tensor::Tensor& ffn_input) = 0;
+};
+
+/// Extension point parallel to the attention sublayer (used by the
+/// adapter-position ablation of Fig. 5, "3-32nd attention layers").
+class AttnHook {
+ public:
+  virtual ~AttnHook() = default;
+
+  virtual void BeginForward() {}
+
+  /// `attn_input` is the normalized attention sublayer input, [T, D]; the
+  /// returned delta is added to the attention sublayer output.
+  virtual tensor::Tensor AttnDelta(int layer,
+                                   const tensor::Tensor& attn_input) = 0;
+};
+
+/// Learned per-layer prefix key/value rows for prefix tuning. keys[l] and
+/// values[l] have shape [prefix_len, D]; they are prepended to that layer's
+/// attention keys/values and are visible to every query position.
+struct PrefixKv {
+  std::vector<tensor::Tensor> keys;
+  std::vector<tensor::Tensor> values;
+  size_t prefix_len = 0;
+};
+
+/// Optional per-forward recording used by analysis benches (Fig. 1, Fig. 6).
+/// Recorded tensors are detached from the autograd graph.
+struct ForwardTrace {
+  bool record_ffn_inputs = false;
+  bool record_layer_outputs = false;
+  std::vector<tensor::Tensor> ffn_inputs;     // H_P^l per layer, [T, D]
+  std::vector<tensor::Tensor> layer_outputs;  // residual stream after layer l
+};
+
+/// Per-call forward configuration.
+struct ForwardOptions {
+  FfnHook* ffn_hook = nullptr;
+  AttnHook* attn_hook = nullptr;
+  const PrefixKv* prefix = nullptr;
+  ForwardTrace* trace = nullptr;
+};
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_HOOKS_H_

@@ -1,0 +1,170 @@
+#include "model/pretrain.h"
+
+#include <filesystem>
+
+#include "model/trainer.h"
+#include "tensor/checkpoint.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/stopwatch.h"
+
+namespace infuserki::model {
+namespace {
+
+constexpr uint32_t kCacheMagic = 0x494b4d31;  // "IKM1"
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= 0xff;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+uint64_t HashValue(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string CachePath(const PretrainSpec& spec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(spec.Fingerprint()));
+  return spec.cache_dir + "/base_" + buf + ".ckpt";
+}
+
+bool TryLoadFromCache(const PretrainSpec& spec, PretrainedModel* out) {
+  std::string path = CachePath(spec);
+  util::BinaryReader reader(path);
+  if (!reader.ok()) return false;
+  if (reader.ReadU32() != kCacheMagic) {
+    LOG_WARNING << "ignoring corrupt model cache file " << path;
+    return false;
+  }
+  uint64_t stored_fingerprint = reader.ReadU64();
+  uint64_t vocab = reader.ReadU64();
+  if (!reader.ok() || stored_fingerprint != spec.Fingerprint()) {
+    LOG_WARNING << "ignoring stale model cache file " << path;
+    return false;
+  }
+  auto tokenizer = text::Tokenizer::Deserialize(&reader);
+  if (!tokenizer.ok()) {
+    LOG_WARNING << "cache tokenizer: " << tokenizer.status();
+    return false;
+  }
+  if (tokenizer.value().vocab_size() != vocab) {
+    LOG_WARNING << "cache vocab mismatch in " << path;
+    return false;
+  }
+  TransformerConfig arch = spec.arch;
+  arch.vocab_size = vocab;
+  util::Rng init_rng(spec.seed);
+  auto lm = std::make_unique<TransformerLM>(arch, &init_rng);
+  util::Status status = tensor::ReadParametersInto(lm->NamedParameters(),
+                                                   &reader);
+  if (!status.ok()) {
+    LOG_WARNING << "cache parameters: " << status;
+    return false;
+  }
+  out->lm = std::move(lm);
+  out->tokenizer = std::move(tokenizer).value();
+  out->final_loss = 0.0f;
+  LOG_INFO << "loaded pretrained base model from " << path;
+  return true;
+}
+
+void SaveToCache(const PretrainSpec& spec, const PretrainedModel& model) {
+  std::error_code ec;
+  std::filesystem::create_directories(spec.cache_dir, ec);
+  std::string path = CachePath(spec);
+  util::BinaryWriter writer(path);
+  if (!writer.ok()) {
+    LOG_WARNING << "cannot write model cache " << path;
+    return;
+  }
+  writer.WriteU32(kCacheMagic);
+  writer.WriteU64(spec.Fingerprint());
+  writer.WriteU64(model.tokenizer.vocab_size());
+  model.tokenizer.Serialize(&writer);
+  tensor::WriteParameters(model.lm->NamedParameters(), &writer);
+  util::Status status = writer.Finish();
+  if (!status.ok()) {
+    LOG_WARNING << "model cache write failed: " << status;
+    return;
+  }
+  LOG_INFO << "cached pretrained base model at " << path;
+}
+
+}  // namespace
+
+uint64_t PretrainSpec::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = HashValue(h, arch.Fingerprint());
+  for (const std::string& doc : plain_docs) h = HashString(h, doc);
+  for (const auto& [prompt, response] : instruction_docs) {
+    h = HashString(h, prompt);
+    h = HashString(h, response);
+  }
+  for (const std::string& doc : extra_vocab_docs) h = HashString(h, doc);
+  h = HashValue(h, steps);
+  h = HashValue(h, batch_size);
+  h = HashValue(h, static_cast<uint64_t>(lr * 1e9f));
+  h = HashValue(h, seed);
+  return h;
+}
+
+PretrainedModel PretrainOrLoad(const PretrainSpec& spec) {
+  PretrainedModel model;
+  if (!spec.cache_dir.empty() && TryLoadFromCache(spec, &model)) {
+    return model;
+  }
+
+  // Vocabulary covers everything the experiments will ever tokenize.
+  std::vector<std::string> vocab_corpus = spec.plain_docs;
+  for (const auto& [prompt, response] : spec.instruction_docs) {
+    vocab_corpus.push_back(prompt);
+    vocab_corpus.push_back(response);
+  }
+  vocab_corpus.insert(vocab_corpus.end(), spec.extra_vocab_docs.begin(),
+                      spec.extra_vocab_docs.end());
+  model.tokenizer = text::Tokenizer::Build(vocab_corpus);
+
+  TransformerConfig arch = spec.arch;
+  arch.vocab_size = model.tokenizer.vocab_size();
+  util::Rng init_rng(spec.seed);
+  model.lm = std::make_unique<TransformerLM>(arch, &init_rng);
+  LOG_INFO << "pretraining base model " << arch.ToString() << " ("
+           << model.lm->NumParameters() << " params, " << spec.steps
+           << " steps)";
+
+  std::vector<LmExample> examples;
+  examples.reserve(spec.plain_docs.size() + spec.instruction_docs.size());
+  for (const std::string& doc : spec.plain_docs) {
+    examples.push_back(MakePlainExample(model.tokenizer, doc));
+  }
+  for (const auto& [prompt, response] : spec.instruction_docs) {
+    examples.push_back(
+        MakeInstructionExample(model.tokenizer, prompt, response));
+  }
+  CHECK(!examples.empty()) << "pretraining corpus is empty";
+
+  LmTrainer::Options trainer_options;
+  trainer_options.lr = spec.lr;
+  trainer_options.batch_size = spec.batch_size;
+  trainer_options.seed = spec.seed + 1;
+  LmTrainer trainer(model.lm.get(), model.lm->Parameters(), trainer_options);
+  util::Stopwatch watch;
+  model.final_loss = trainer.TrainSteps(examples, spec.steps);
+  LOG_INFO << "pretraining done in " << watch.ElapsedSeconds()
+           << "s, final-window loss " << model.final_loss;
+
+  if (!spec.cache_dir.empty()) SaveToCache(spec, model);
+  return model;
+}
+
+}  // namespace infuserki::model

@@ -1,0 +1,56 @@
+#ifndef INFUSERKI_MODEL_PRETRAIN_H_
+#define INFUSERKI_MODEL_PRETRAIN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/config.h"
+#include "model/transformer.h"
+#include "text/tokenizer.h"
+
+namespace infuserki::model {
+
+/// Everything a base-model pretraining run depends on. The fingerprint of
+/// this spec keys the on-disk model cache, so identical specs across bench
+/// binaries reuse one pretrained model.
+struct PretrainSpec {
+  TransformerConfig arch;  // vocab_size is filled in from the corpus
+
+  /// Fully-supervised documents (knowledge statements, filler prose).
+  std::vector<std::string> plain_docs;
+
+  /// Instruction documents (QA with response-only loss).
+  std::vector<std::pair<std::string, std::string>> instruction_docs;
+
+  /// Additional text that must be covered by the vocabulary but is not
+  /// trained on (e.g. questions about facts the base model must NOT know).
+  std::vector<std::string> extra_vocab_docs;
+
+  size_t steps = 2500;
+  size_t batch_size = 8;
+  float lr = 3e-3f;
+  uint64_t seed = 7;
+
+  /// Directory for cached models; empty disables caching.
+  std::string cache_dir;
+
+  uint64_t Fingerprint() const;
+};
+
+/// A pretrained base model with its tokenizer.
+struct PretrainedModel {
+  std::unique_ptr<TransformerLM> lm;
+  text::Tokenizer tokenizer;
+  float final_loss = 0.0f;  // 0 when loaded from cache
+};
+
+/// Trains the base LM on the spec's corpus, or loads it from the cache when
+/// a model with the same fingerprint exists. The returned model's
+/// parameters are left trainable (callers freeze them for PEFT).
+PretrainedModel PretrainOrLoad(const PretrainSpec& spec);
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_PRETRAIN_H_

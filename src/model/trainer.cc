@@ -1,0 +1,112 @@
+#include "model/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace infuserki::model {
+
+LmExample MakeInstructionExample(const text::Tokenizer& tokenizer,
+                                 const std::string& prompt,
+                                 const std::string& response) {
+  LmExample example;
+  example.tokens.push_back(text::kBosId);
+  std::vector<int> prompt_ids = tokenizer.Encode(prompt);
+  example.tokens.insert(example.tokens.end(), prompt_ids.begin(),
+                        prompt_ids.end());
+  example.loss_start = example.tokens.size();
+  std::vector<int> response_ids = tokenizer.Encode(response);
+  CHECK(!response_ids.empty()) << "empty response text";
+  example.tokens.insert(example.tokens.end(), response_ids.begin(),
+                        response_ids.end());
+  example.tokens.push_back(text::kEosId);
+  return example;
+}
+
+LmExample MakePlainExample(const text::Tokenizer& tokenizer,
+                           const std::string& text) {
+  LmExample example;
+  example.tokens = tokenizer.EncodeWithSpecials(text, /*add_eos=*/true);
+  example.loss_start = 0;
+  return example;
+}
+
+LmTrainer::LmTrainer(const TransformerLM* lm,
+                     std::vector<tensor::Tensor> trainable,
+                     const Options& options)
+    : lm_(lm),
+      optimizer_(std::move(trainable),
+                 tensor::AdamW::Options{.lr = options.lr,
+                                        .weight_decay = options.weight_decay}),
+      clip_norm_(options.clip_norm),
+      batch_size_(options.batch_size),
+      cosine_decay_(options.cosine_decay),
+      min_lr_fraction_(options.min_lr_fraction),
+      base_lr_(options.lr),
+      on_example_(options.on_example),
+      rng_(options.seed) {
+  CHECK(lm != nullptr);
+  CHECK_GT(batch_size_, size_t{0});
+}
+
+float LmTrainer::TrainSteps(const std::vector<LmExample>& examples,
+                            size_t steps, const ForwardOptions& forward) {
+  CHECK(!examples.empty());
+  std::vector<size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+  size_t cursor = 0;
+  std::vector<float> losses;
+  losses.reserve(steps);
+  for (size_t step = 0; step < steps; ++step) {
+    std::vector<const LmExample*> batch;
+    batch.reserve(batch_size_);
+    for (size_t b = 0; b < batch_size_; ++b) {
+      if (cursor == order.size()) {
+        rng_.Shuffle(&order);
+        cursor = 0;
+      }
+      batch.push_back(&examples[order[cursor++]]);
+    }
+    if (cosine_decay_ && steps > 1) {
+      float progress = static_cast<float>(step) /
+                       static_cast<float>(steps - 1);
+      float scale = min_lr_fraction_ +
+                    (1.0f - min_lr_fraction_) * 0.5f *
+                        (1.0f + std::cos(progress * 3.14159265f));
+      optimizer_.set_lr(base_lr_ * scale);
+    }
+    losses.push_back(Step(batch, forward));
+  }
+  optimizer_.set_lr(base_lr_);
+  // Report the mean over the final quarter: representative of where
+  // training ended rather than where it started.
+  size_t window = std::max<size_t>(1, losses.size() / 4);
+  double total = 0.0;
+  for (size_t i = losses.size() - window; i < losses.size(); ++i) {
+    total += losses[i];
+  }
+  return static_cast<float>(total / static_cast<double>(window));
+}
+
+float LmTrainer::Step(const std::vector<const LmExample*>& batch,
+                      const ForwardOptions& forward) {
+  CHECK(!batch.empty());
+  float inv = 1.0f / static_cast<float>(batch.size());
+  double total = 0.0;
+  for (const LmExample* example : batch) {
+    if (on_example_) on_example_(*example);
+    tensor::Tensor loss =
+        lm_->NextTokenLoss(example->tokens, example->loss_start, forward);
+    total += loss.item();
+    tensor::MulScalar(loss, inv).Backward();
+  }
+  tensor::ClipGradNorm(optimizer_.params(), clip_norm_);
+  optimizer_.Step();
+  optimizer_.ZeroGrad();
+  return static_cast<float>(total * inv);
+}
+
+}  // namespace infuserki::model

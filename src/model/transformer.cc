@@ -1,0 +1,137 @@
+#include "model/transformer.h"
+
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace infuserki::model {
+
+using tensor::Tensor;
+
+TransformerLayer::TransformerLayer(const TransformerConfig& config,
+                                   util::Rng* rng)
+    : num_heads_(config.num_heads),
+      norm1_weight_(Tensor::Full({config.dim}, 1.0f, /*requires_grad=*/true)),
+      norm2_weight_(Tensor::Full({config.dim}, 1.0f, /*requires_grad=*/true)),
+      wq_(config.dim, config.dim, rng, /*with_bias=*/false),
+      wk_(config.dim, config.dim, rng, /*with_bias=*/false),
+      wv_(config.dim, config.dim, rng, /*with_bias=*/false),
+      wo_(config.dim, config.dim, rng, /*with_bias=*/false),
+      ffn_gate_(config.dim, config.ffn_hidden, rng, /*with_bias=*/false),
+      ffn_up_(config.dim, config.ffn_hidden, rng, /*with_bias=*/false),
+      ffn_down_(config.ffn_hidden, config.dim, rng, /*with_bias=*/false) {
+  RegisterParameter("norm1", norm1_weight_);
+  RegisterParameter("norm2", norm2_weight_);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("ffn_gate", &ffn_gate_);
+  RegisterModule("ffn_up", &ffn_up_);
+  RegisterModule("ffn_down", &ffn_down_);
+}
+
+Tensor TransformerLayer::Forward(const Tensor& x, int layer_index,
+                                 const ForwardOptions& options) const {
+  // Attention sublayer.
+  Tensor attn_in = tensor::RmsNorm(x, norm1_weight_);
+  Tensor q = wq_.Forward(attn_in);
+  Tensor k = wk_.Forward(attn_in);
+  Tensor v = wv_.Forward(attn_in);
+  size_t prefix_len = 0;
+  if (options.prefix != nullptr && options.prefix->prefix_len > 0) {
+    const PrefixKv& prefix = *options.prefix;
+    CHECK_LT(static_cast<size_t>(layer_index), prefix.keys.size());
+    k = tensor::ConcatRows(prefix.keys[static_cast<size_t>(layer_index)], k);
+    v = tensor::ConcatRows(prefix.values[static_cast<size_t>(layer_index)],
+                           v);
+    prefix_len = prefix.prefix_len;
+  }
+  Tensor attn =
+      tensor::CausalSelfAttention(q, k, v, num_heads_, prefix_len);
+  Tensor attn_out = wo_.Forward(attn);
+  if (options.attn_hook != nullptr) {
+    Tensor delta = options.attn_hook->AttnDelta(layer_index, attn_in);
+    if (delta.defined()) attn_out = tensor::Add(attn_out, delta);
+  }
+  Tensor h = tensor::Add(x, attn_out);
+
+  // FFN sublayer (SwiGLU). ffn_in is the paper's H_P^l.
+  Tensor ffn_in = tensor::RmsNorm(h, norm2_weight_);
+  if (options.trace != nullptr && options.trace->record_ffn_inputs) {
+    options.trace->ffn_inputs.push_back(ffn_in.Detach());
+  }
+  Tensor gate = tensor::Silu(ffn_gate_.Forward(ffn_in));
+  Tensor up = ffn_up_.Forward(ffn_in);
+  Tensor ffn_out = ffn_down_.Forward(tensor::Mul(gate, up));
+  if (options.ffn_hook != nullptr) {
+    Tensor delta = options.ffn_hook->FfnDelta(layer_index, ffn_in);
+    if (delta.defined()) ffn_out = tensor::Add(ffn_out, delta);
+  }
+  return tensor::Add(h, ffn_out);
+}
+
+TransformerLM::TransformerLM(const TransformerConfig& config, util::Rng* rng)
+    : config_(config),
+      token_emb_(config.vocab_size, config.dim, rng),
+      pos_emb_(config.max_seq_len, config.dim, rng),
+      final_norm_weight_(
+          Tensor::Full({config.dim}, 1.0f, /*requires_grad=*/true)) {
+  CHECK_GT(config.vocab_size, size_t{0}) << "vocab_size must be set";
+  CHECK_EQ(config.dim % config.num_heads, size_t{0});
+  RegisterModule("token_emb", &token_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterParameter("final_norm", final_norm_weight_);
+  layers_.reserve(config.num_layers);
+  for (size_t l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(std::make_unique<TransformerLayer>(config, rng));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+  }
+}
+
+Tensor TransformerLM::Hidden(const std::vector<int>& tokens,
+                             const ForwardOptions& options) const {
+  CHECK(!tokens.empty());
+  CHECK_LE(tokens.size(), config_.max_seq_len)
+      << "sequence exceeds max_seq_len";
+  if (options.ffn_hook != nullptr) options.ffn_hook->BeginForward();
+  if (options.attn_hook != nullptr) options.attn_hook->BeginForward();
+  if (options.trace != nullptr) {
+    options.trace->ffn_inputs.clear();
+    options.trace->layer_outputs.clear();
+  }
+  std::vector<int> positions(tokens.size());
+  std::iota(positions.begin(), positions.end(), 0);
+  Tensor x = tensor::Add(token_emb_.Forward(tokens),
+                         pos_emb_.Forward(positions));
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    x = layers_[l]->Forward(x, static_cast<int>(l), options);
+    if (options.trace != nullptr && options.trace->record_layer_outputs) {
+      options.trace->layer_outputs.push_back(x.Detach());
+    }
+  }
+  return tensor::RmsNorm(x, final_norm_weight_);
+}
+
+Tensor TransformerLM::Logits(const std::vector<int>& tokens,
+                             const ForwardOptions& options) const {
+  Tensor h = Hidden(tokens, options);
+  // Tied output head.
+  return tensor::MatmulNT(h, token_emb_.table());
+}
+
+Tensor TransformerLM::NextTokenLoss(const std::vector<int>& tokens,
+                                    size_t loss_start,
+                                    const ForwardOptions& options) const {
+  CHECK_GE(tokens.size(), size_t{2}) << "need at least two tokens";
+  std::vector<int> inputs(tokens.begin(), tokens.end() - 1);
+  std::vector<int> targets(tokens.begin() + 1, tokens.end());
+  for (size_t i = 0; i + 1 < loss_start && i < targets.size(); ++i) {
+    targets[i] = -1;  // ignored by CrossEntropy
+  }
+  Tensor logits = Logits(inputs, options);
+  return tensor::CrossEntropy(logits, targets, /*ignore_index=*/-1);
+}
+
+}  // namespace infuserki::model

@@ -1,0 +1,84 @@
+#ifndef INFUSERKI_MODEL_TRANSFORMER_H_
+#define INFUSERKI_MODEL_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "model/hooks.h"
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace infuserki::model {
+
+/// One pre-norm transformer block: x += Attn(norm1(x)); x += FFN(norm2(x))
+/// with SwiGLU FFN. Exposes its projections so PEFT methods can attach
+/// LoRA deltas, and routes hook deltas per ForwardOptions.
+class TransformerLayer : public tensor::Module {
+ public:
+  TransformerLayer(const TransformerConfig& config, util::Rng* rng);
+
+  /// Residual-stream update for layer `layer_index`.
+  tensor::Tensor Forward(const tensor::Tensor& x, int layer_index,
+                         const ForwardOptions& options) const;
+
+  tensor::Linear& wq() { return wq_; }
+  tensor::Linear& wk() { return wk_; }
+  tensor::Linear& wv() { return wv_; }
+  tensor::Linear& wo() { return wo_; }
+  tensor::Linear& ffn_gate() { return ffn_gate_; }
+  tensor::Linear& ffn_up() { return ffn_up_; }
+  tensor::Linear& ffn_down() { return ffn_down_; }
+
+ private:
+  size_t num_heads_;
+  tensor::Tensor norm1_weight_;
+  tensor::Tensor norm2_weight_;
+  tensor::Linear wq_;
+  tensor::Linear wk_;
+  tensor::Linear wv_;
+  tensor::Linear wo_;
+  tensor::Linear ffn_gate_;  // W1 of SwiGLU
+  tensor::Linear ffn_up_;    // W3
+  tensor::Linear ffn_down_;  // W2
+};
+
+/// Decoder-only language model with tied input/output embeddings, learned
+/// positions, and per-layer hook points (see hooks.h). This is the
+/// simulator-scale stand-in for the paper's LLaMa-2-7B base model.
+class TransformerLM : public tensor::Module {
+ public:
+  TransformerLM(const TransformerConfig& config, util::Rng* rng);
+
+  /// Final-norm hidden states for `tokens` -> [T, D].
+  tensor::Tensor Hidden(const std::vector<int>& tokens,
+                        const ForwardOptions& options = {}) const;
+
+  /// Token logits -> [T, V] (tied output head: h @ E^T).
+  tensor::Tensor Logits(const std::vector<int>& tokens,
+                        const ForwardOptions& options = {}) const;
+
+  /// Mean next-token cross entropy over positions >= loss_start (0 = whole
+  /// sequence). Position t predicts tokens[t + 1]; with loss_start = p only
+  /// targets at indices > p contribute, which restricts supervision to the
+  /// response part of an instruction sample.
+  tensor::Tensor NextTokenLoss(const std::vector<int>& tokens,
+                               size_t loss_start = 0,
+                               const ForwardOptions& options = {}) const;
+
+  const TransformerConfig& config() const { return config_; }
+  TransformerLayer& layer(size_t i) { return *layers_[i]; }
+  const tensor::Embedding& token_embedding() const { return token_emb_; }
+
+ private:
+  TransformerConfig config_;
+  tensor::Embedding token_emb_;
+  tensor::Embedding pos_emb_;
+  std::vector<std::unique_ptr<TransformerLayer>> layers_;
+  tensor::Tensor final_norm_weight_;
+};
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_TRANSFORMER_H_

@@ -1,0 +1,60 @@
+#include "peft/calinet.h"
+
+#include "model/trainer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace infuserki::peft {
+
+CalinetMethod::CalinetMethod(model::TransformerLM* lm,
+                             const CalinetOptions& options)
+    : lm_(lm), options_(options) {
+  CHECK(lm != nullptr);
+  layer_ = options.layer >= 0
+               ? options.layer
+               : static_cast<int>(lm->config().num_layers * 2 / 3);
+  CHECK_LT(static_cast<size_t>(layer_), lm->config().num_layers);
+  util::Rng rng(options.seed);
+  size_t dim = lm->config().dim;
+  keys_ = tensor::Tensor::Randn({options.num_slots, dim}, &rng, 0.05f,
+                                /*requires_grad=*/true);
+  // Zero value slots: the adapter starts as a no-op.
+  values_ = tensor::Tensor::Zeros({options.num_slots, dim},
+                                  /*requires_grad=*/true);
+}
+
+tensor::Tensor CalinetMethod::FfnDelta(int layer,
+                                       const tensor::Tensor& ffn_input) {
+  if (layer != layer_) return tensor::Tensor();
+  tensor::Tensor activation =
+      tensor::Gelu(tensor::MatmulNT(ffn_input, keys_));
+  return tensor::Matmul(activation, values_);
+}
+
+model::ForwardOptions CalinetMethod::Forward() {
+  model::ForwardOptions forward;
+  forward.ffn_hook = this;
+  return forward;
+}
+
+void CalinetMethod::Train(const core::KiTrainData& data) {
+  std::vector<model::LmExample> examples = core::BuildInstructionExamples(
+      data, options_.include_known_mix, /*include_yesno=*/true);
+  CHECK(!examples.empty());
+  model::LmTrainer::Options trainer_options;
+  trainer_options.lr = options_.lr;
+  trainer_options.batch_size = options_.batch_size;
+  trainer_options.seed = options_.seed + 1;
+  model::LmTrainer trainer(lm_, {keys_, values_}, trainer_options);
+  size_t steps_per_epoch =
+      (examples.size() + options_.batch_size - 1) / options_.batch_size;
+  final_loss_ = trainer.TrainSteps(
+      examples, options_.epochs * steps_per_epoch, Forward());
+  LOG_INFO << name() << " training done, loss " << final_loss_;
+}
+
+size_t CalinetMethod::NumTrainableParameters() const {
+  return keys_.size() + values_.size();
+}
+
+}  // namespace infuserki::peft

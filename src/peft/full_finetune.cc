@@ -1,0 +1,35 @@
+#include "peft/full_finetune.h"
+
+#include "model/trainer.h"
+#include "util/logging.h"
+
+namespace infuserki::peft {
+
+FullFinetuneMethod::FullFinetuneMethod(model::TransformerLM* lm,
+                                       const FullFinetuneOptions& options)
+    : lm_(lm), options_(options) {
+  CHECK(lm != nullptr);
+}
+
+void FullFinetuneMethod::Train(const core::KiTrainData& data) {
+  std::vector<model::LmExample> examples = core::BuildInstructionExamples(
+      data, options_.include_known_mix, /*include_yesno=*/true);
+  CHECK(!examples.empty());
+  lm_->SetTrainable(true);
+  model::LmTrainer::Options trainer_options;
+  trainer_options.lr = options_.lr;
+  trainer_options.batch_size = options_.batch_size;
+  trainer_options.seed = options_.seed + 1;
+  model::LmTrainer trainer(lm_, lm_->Parameters(), trainer_options);
+  size_t steps_per_epoch =
+      (examples.size() + options_.batch_size - 1) / options_.batch_size;
+  final_loss_ =
+      trainer.TrainSteps(examples, options_.epochs * steps_per_epoch);
+  LOG_INFO << name() << " training done, loss " << final_loss_;
+}
+
+size_t FullFinetuneMethod::NumTrainableParameters() const {
+  return lm_->NumParameters();
+}
+
+}  // namespace infuserki::peft

@@ -1,0 +1,58 @@
+#include "peft/prefix_tuning.h"
+
+#include "model/trainer.h"
+#include "util/logging.h"
+
+namespace infuserki::peft {
+
+PrefixTuningMethod::PrefixTuningMethod(model::TransformerLM* lm,
+                                       const PrefixTuningOptions& options)
+    : lm_(lm), options_(options) {
+  CHECK(lm != nullptr);
+  util::Rng rng(options.seed);
+  size_t dim = lm->config().dim;
+  prefix_.prefix_len = options.prefix_len;
+  for (size_t l = 0; l < lm->config().num_layers; ++l) {
+    prefix_.keys.push_back(tensor::Tensor::Randn(
+        {options.prefix_len, dim}, &rng, options.init_stddev,
+        /*requires_grad=*/true));
+    prefix_.values.push_back(tensor::Tensor::Randn(
+        {options.prefix_len, dim}, &rng, options.init_stddev,
+        /*requires_grad=*/true));
+  }
+}
+
+model::ForwardOptions PrefixTuningMethod::Forward() {
+  model::ForwardOptions forward;
+  forward.prefix = &prefix_;
+  return forward;
+}
+
+void PrefixTuningMethod::Train(const core::KiTrainData& data) {
+  std::vector<model::LmExample> examples = core::BuildInstructionExamples(
+      data, /*include_known=*/true, /*include_yesno=*/true);
+  CHECK(!examples.empty());
+  std::vector<tensor::Tensor> params;
+  for (const tensor::Tensor& t : prefix_.keys) params.push_back(t);
+  for (const tensor::Tensor& t : prefix_.values) params.push_back(t);
+  model::LmTrainer::Options trainer_options;
+  trainer_options.lr = options_.lr;
+  trainer_options.batch_size = options_.batch_size;
+  trainer_options.seed = options_.seed + 1;
+  model::LmTrainer trainer(lm_, std::move(params), trainer_options);
+  size_t steps_per_epoch =
+      (examples.size() + options_.batch_size - 1) / options_.batch_size;
+  final_loss_ =
+      trainer.TrainSteps(examples, options_.epochs * steps_per_epoch,
+                         Forward());
+  LOG_INFO << name() << " training done, loss " << final_loss_;
+}
+
+size_t PrefixTuningMethod::NumTrainableParameters() const {
+  size_t n = 0;
+  for (const tensor::Tensor& t : prefix_.keys) n += t.size();
+  for (const tensor::Tensor& t : prefix_.values) n += t.size();
+  return n;
+}
+
+}  // namespace infuserki::peft

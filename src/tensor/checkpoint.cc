@@ -1,0 +1,96 @@
+#include "tensor/checkpoint.h"
+
+#include <cstring>
+#include <map>
+
+namespace infuserki::tensor {
+namespace {
+
+constexpr uint32_t kMagic = 0x494b4331;  // "IKC1"
+
+}  // namespace
+
+void WriteParameters(const std::vector<NamedParameter>& params,
+                     util::BinaryWriter* writer) {
+  writer->WriteU32(kMagic);
+  writer->WriteU64(params.size());
+  for (const NamedParameter& p : params) {
+    writer->WriteString(p.name);
+    writer->WriteU64(p.tensor.rank());
+    for (size_t i = 0; i < p.tensor.rank(); ++i) {
+      writer->WriteU64(p.tensor.dim(i));
+    }
+    writer->WriteFloatVector(p.tensor.vec());
+  }
+}
+
+util::Status ReadParametersInto(std::vector<NamedParameter> params,
+                                util::BinaryReader* reader) {
+  const std::string& path = reader->path();
+  if (reader->ReadU32() != kMagic || !reader->ok()) {
+    return util::Status::DataLoss("bad parameter-block magic in " + path);
+  }
+  uint64_t count = reader->ReadU64();
+  if (!reader->ok()) return util::Status::DataLoss("truncated " + path);
+  if (count != params.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  std::map<std::string, Tensor> by_name;
+  for (NamedParameter& p : params) {
+    auto [it, inserted] = by_name.emplace(p.name, p.tensor);
+    (void)it;
+    if (!inserted) {
+      return util::Status::InvalidArgument("duplicate parameter " + p.name);
+    }
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name = reader->ReadString();
+    uint64_t rank = reader->ReadU64();
+    if (!reader->ok() || rank > 8) {
+      return util::Status::DataLoss("truncated tensor header in " + path);
+    }
+    Shape shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) shape[d] = reader->ReadU64();
+    std::vector<float> data = reader->ReadFloatVector();
+    if (!reader->ok()) {
+      return util::Status::DataLoss("truncated tensor data in " + path);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return util::Status::NotFound("checkpoint tensor " + name +
+                                    " not present in model");
+    }
+    Tensor& target = it->second;
+    if (target.shape() != shape || target.size() != data.size()) {
+      return util::Status::InvalidArgument(
+          "shape mismatch for " + name + ": checkpoint " +
+          ShapeToString(shape) + " vs model " +
+          ShapeToString(target.shape()));
+    }
+    std::memcpy(target.data(), data.data(), data.size() * sizeof(float));
+  }
+  return util::Status::OK();
+}
+
+util::Status SaveParameters(const std::vector<NamedParameter>& params,
+                            const std::string& path) {
+  util::BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return util::Status::Internal("cannot open " + path + " for writing");
+  }
+  WriteParameters(params, &writer);
+  return writer.Finish();
+}
+
+util::Status LoadParameters(std::vector<NamedParameter> params,
+                            const std::string& path) {
+  util::BinaryReader reader(path);
+  if (!reader.ok()) {
+    return util::Status::NotFound("cannot open checkpoint " + path);
+  }
+  return ReadParametersInto(std::move(params), &reader);
+}
+
+}  // namespace infuserki::tensor

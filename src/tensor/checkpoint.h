@@ -1,0 +1,31 @@
+#ifndef INFUSERKI_TENSOR_CHECKPOINT_H_
+#define INFUSERKI_TENSOR_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/nn.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace infuserki::tensor {
+
+/// Appends `params` (names, shapes, data) to an open binary stream.
+void WriteParameters(const std::vector<NamedParameter>& params,
+                     util::BinaryWriter* writer);
+
+/// Reads a parameter block written by WriteParameters into `params` in
+/// place. Strict: every stored name must match a parameter of identical
+/// shape and the counts must agree.
+util::Status ReadParametersInto(std::vector<NamedParameter> params,
+                                util::BinaryReader* reader);
+
+/// Whole-file convenience wrappers.
+util::Status SaveParameters(const std::vector<NamedParameter>& params,
+                            const std::string& path);
+util::Status LoadParameters(std::vector<NamedParameter> params,
+                            const std::string& path);
+
+}  // namespace infuserki::tensor
+
+#endif  // INFUSERKI_TENSOR_CHECKPOINT_H_

@@ -1,0 +1,885 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/threadpool.h"
+
+namespace infuserki::tensor {
+namespace {
+
+using internal::TensorImpl;
+
+constexpr size_t kParallelGrain = 8;
+
+// Returns true when `b` broadcasts against `a` as a suffix shape.
+bool IsSuffixShape(const Shape& a, const Shape& b) {
+  if (b.size() > a.size()) return false;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (b[b.size() - 1 - i] != a[a.size() - 1 - i]) return false;
+  }
+  return true;
+}
+
+enum class BroadcastKind { kSame, kScalar, kSuffix };
+
+BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
+                             const char* op_name) {
+  if (a.shape() == b.shape()) return BroadcastKind::kSame;
+  if (b.size() == 1) return BroadcastKind::kScalar;
+  CHECK(IsSuffixShape(a.shape(), b.shape()))
+      << op_name << ": incompatible shapes " << ShapeToString(a.shape())
+      << " vs " << ShapeToString(b.shape());
+  return BroadcastKind::kSuffix;
+}
+
+// C[m,n] += A[m,k] * B[k,n]
+void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+             size_t n) {
+  util::ParallelFor(m, kParallelGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* c_row = c + i * n;
+      const float* a_row = a + i * k;
+      for (size_t p = 0; p < k; ++p) {
+        float av = a_row[p];
+        if (av == 0.0f) continue;
+        const float* b_row = b + p * n;
+        for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  });
+}
+
+// C[m,n] += A[m,k] * B[n,k]^T
+void GemmNTAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n) {
+  util::ParallelFor(m, kParallelGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += acc;
+      }
+    }
+  });
+}
+
+// C[k,n] += A[m,k]^T * B[m,n]
+void GemmTNAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n) {
+  util::ParallelFor(k, kParallelGrain, [&](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      float* c_row = c + p * n;
+      for (size_t i = 0; i < m; ++i) {
+        float av = a[i * k + p];
+        if (av == 0.0f) continue;
+        const float* b_row = b + i * n;
+        for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  });
+}
+
+// Elementwise unary op with pointwise derivative computed from saved
+// input and/or output values.
+template <typename ForwardFn, typename BackwardFn>
+Tensor UnaryOp(const Tensor& a, ForwardFn fwd, BackwardFn bwd) {
+  std::vector<float> out(a.size());
+  const float* in = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(in[i]);
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a}, [a, bwd](TensorImpl* result) {
+        result->backward_fn = [a, bwd, result]() {
+          if (!a.requires_grad()) return;
+          float* agrad = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          const float* x = a.data();
+          const float* y = result->data.data();
+          for (size_t i = 0; i < result->data.size(); ++i) {
+            agrad[i] += g[i] * bwd(x[i], y[i]);
+          }
+        };
+      });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBroadcast(a, b, "Add");
+  std::vector<float> out(a.vec());
+  const float* bp = b.data();
+  size_t bn = b.size();
+  if (kind == BroadcastKind::kScalar) {
+    for (float& v : out) v += bp[0];
+  } else {
+    for (size_t i = 0; i < out.size(); ++i) out[i] += bp[i % bn];
+  }
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a, b}, [a, b](TensorImpl* result) {
+        result->backward_fn = [a, b, result]() {
+          const float* g = result->grad.data();
+          size_t n = result->data.size();
+          if (a.requires_grad()) {
+            float* ag = a.impl()->MutableGrad();
+            for (size_t i = 0; i < n; ++i) ag[i] += g[i];
+          }
+          if (b.requires_grad()) {
+            float* bg = b.impl()->MutableGrad();
+            size_t bn = b.size();
+            for (size_t i = 0; i < n; ++i) bg[i % bn] += g[i];
+          }
+        };
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBroadcast(a, b, "Sub");
+  std::vector<float> out(a.vec());
+  const float* bp = b.data();
+  size_t bn = b.size();
+  if (kind == BroadcastKind::kScalar) {
+    for (float& v : out) v -= bp[0];
+  } else {
+    for (size_t i = 0; i < out.size(); ++i) out[i] -= bp[i % bn];
+  }
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a, b}, [a, b](TensorImpl* result) {
+        result->backward_fn = [a, b, result]() {
+          const float* g = result->grad.data();
+          size_t n = result->data.size();
+          if (a.requires_grad()) {
+            float* ag = a.impl()->MutableGrad();
+            for (size_t i = 0; i < n; ++i) ag[i] += g[i];
+          }
+          if (b.requires_grad()) {
+            float* bg = b.impl()->MutableGrad();
+            size_t bn = b.size();
+            for (size_t i = 0; i < n; ++i) bg[i % bn] -= g[i];
+          }
+        };
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBroadcast(a, b, "Mul");
+  std::vector<float> out(a.vec());
+  const float* bp = b.data();
+  size_t bn = b.size();
+  if (kind == BroadcastKind::kScalar) {
+    for (float& v : out) v *= bp[0];
+  } else {
+    for (size_t i = 0; i < out.size(); ++i) out[i] *= bp[i % bn];
+  }
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a, b}, [a, b](TensorImpl* result) {
+        result->backward_fn = [a, b, result]() {
+          const float* g = result->grad.data();
+          const float* ap = a.data();
+          const float* bp = b.data();
+          size_t n = result->data.size();
+          size_t bn = b.size();
+          if (a.requires_grad()) {
+            float* ag = a.impl()->MutableGrad();
+            for (size_t i = 0; i < n; ++i) ag[i] += g[i] * bp[i % bn];
+          }
+          if (b.requires_grad()) {
+            float* bg = b.impl()->MutableGrad();
+            for (size_t i = 0; i < n; ++i) bg[i % bn] += g[i] * ap[i];
+          }
+        };
+      });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.vec());
+  for (float& v : out) v += s;
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a}, [a](TensorImpl* result) {
+        result->backward_fn = [a, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t i = 0; i < result->data.size(); ++i) ag[i] += g[i];
+        };
+      });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.vec());
+  for (float& v : out) v *= s;
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a}, [a, s](TensorImpl* result) {
+        result->backward_fn = [a, s, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t i = 0; i < result->data.size(); ++i) ag[i] += g[i] * s;
+        };
+      });
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rank(), size_t{2});
+  CHECK_EQ(b.rank(), size_t{2});
+  CHECK_EQ(a.dim(1), b.dim(0)) << "Matmul: " << ShapeToString(a.shape())
+                               << " x " << ShapeToString(b.shape());
+  size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  std::vector<float> out(m * n, 0.0f);
+  GemmAcc(a.data(), b.data(), out.data(), m, k, n);
+  return Tensor::MakeOpResult(
+      {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl* result) {
+        result->backward_fn = [a, b, m, k, n, result]() {
+          const float* g = result->grad.data();
+          // dA = dC * B^T ; dB = A^T * dC
+          if (a.requires_grad()) {
+            GemmNTAcc(g, b.data(), a.impl()->MutableGrad(), m, n, k);
+          }
+          if (b.requires_grad()) {
+            GemmTNAcc(a.data(), g, b.impl()->MutableGrad(), m, k, n);
+          }
+        };
+      });
+}
+
+Tensor MatmulNT(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rank(), size_t{2});
+  CHECK_EQ(b.rank(), size_t{2});
+  CHECK_EQ(a.dim(1), b.dim(1)) << "MatmulNT: " << ShapeToString(a.shape())
+                               << " x " << ShapeToString(b.shape()) << "^T";
+  size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  std::vector<float> out(m * n, 0.0f);
+  GemmNTAcc(a.data(), b.data(), out.data(), m, k, n);
+  return Tensor::MakeOpResult(
+      {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl* result) {
+        result->backward_fn = [a, b, m, k, n, result]() {
+          const float* g = result->grad.data();
+          // C = A B^T : dA = dC * B ; dB = dC^T * A
+          if (a.requires_grad()) {
+            GemmAcc(g, b.data(), a.impl()->MutableGrad(), m, n, k);
+          }
+          if (b.requires_grad()) {
+            GemmTNAcc(g, a.data(), b.impl()->MutableGrad(), m, n, k);
+          }
+        };
+      });
+}
+
+Tensor Transpose(const Tensor& a) {
+  CHECK_EQ(a.rank(), size_t{2});
+  size_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m * n);
+  const float* in = a.data();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out[j * m + i] = in[i * n + j];
+  }
+  return Tensor::MakeOpResult(
+      {n, m}, std::move(out), {a}, [a, m, n](TensorImpl* result) {
+        result->backward_fn = [a, m, n, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t j = 0; j < n; ++j) {
+            for (size_t i = 0; i < m; ++i) ag[i * n + j] += g[j * m + i];
+          }
+        };
+      });
+}
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  CHECK_EQ(NumElements(shape), a.size());
+  return Tensor::MakeOpResult(
+      std::move(shape), a.vec(), {a}, [a](TensorImpl* result) {
+        result->backward_fn = [a, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t i = 0; i < result->data.size(); ++i) ag[i] += g[i];
+        };
+      });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kInvSqrt2 = 0.7071067811865475f;
+  constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+  return UnaryOp(
+      a,
+      [](float x) {
+        return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+      },
+      [](float x, float) {
+        float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+        float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+        return cdf + x * pdf;
+      });
+}
+
+Tensor Silu(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) { return x / (1.0f + std::exp(-x)); },
+      [](float x, float) {
+        float s = 1.0f / (1.0f + std::exp(-x));
+        return s * (1.0f + x * (1.0f - s));
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Softmax(const Tensor& a) {
+  CHECK_EQ(a.rank(), size_t{2});
+  size_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<float> out(a.size());
+  const float* in = a.data();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    float* y = out.data() + r * cols;
+    float mx = x[0];
+    for (size_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - mx);
+      sum += y[c];
+    }
+    float inv = 1.0f / sum;
+    for (size_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {a}, [a, rows, cols](TensorImpl* result) {
+        result->backward_fn = [a, rows, cols, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          const float* y = result->data.data();
+          for (size_t r = 0; r < rows; ++r) {
+            const float* gr = g + r * cols;
+            const float* yr = y + r * cols;
+            float dot = 0.0f;
+            for (size_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+            float* agr = ag + r * cols;
+            for (size_t c = 0; c < cols; ++c) {
+              agr[c] += yr[c] * (gr[c] - dot);
+            }
+          }
+        };
+      });
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps) {
+  CHECK_EQ(x.rank(), size_t{2});
+  CHECK_EQ(weight.rank(), size_t{1});
+  size_t rows = x.dim(0), cols = x.dim(1);
+  CHECK_EQ(weight.dim(0), cols);
+  std::vector<float> out(x.size());
+  auto inv_rms = std::make_shared<std::vector<float>>(rows);
+  const float* in = x.data();
+  const float* w = weight.data();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* xr = in + r * cols;
+    float ss = 0.0f;
+    for (size_t c = 0; c < cols; ++c) ss += xr[c] * xr[c];
+    float inv = 1.0f / std::sqrt(ss / static_cast<float>(cols) + eps);
+    (*inv_rms)[r] = inv;
+    float* yr = out.data() + r * cols;
+    for (size_t c = 0; c < cols; ++c) yr[c] = xr[c] * inv * w[c];
+  }
+  return Tensor::MakeOpResult(
+      x.shape(), std::move(out), {x, weight},
+      [x, weight, rows, cols, inv_rms](TensorImpl* result) {
+        result->backward_fn = [x, weight, rows, cols, inv_rms, result]() {
+          const float* g = result->grad.data();
+          const float* in = x.data();
+          const float* w = weight.data();
+          float* wg = weight.requires_grad() ? weight.impl()->MutableGrad()
+                                             : nullptr;
+          float* xg = x.requires_grad() ? x.impl()->MutableGrad() : nullptr;
+          for (size_t r = 0; r < rows; ++r) {
+            const float* xr = in + r * cols;
+            const float* gr = g + r * cols;
+            float inv = (*inv_rms)[r];
+            if (wg != nullptr) {
+              for (size_t c = 0; c < cols; ++c) {
+                wg[c] += gr[c] * xr[c] * inv;
+              }
+            }
+            if (xg != nullptr) {
+              // dxh = g * w ; dx = inv * (dxh - xh * mean(dxh * xh))
+              float dot = 0.0f;
+              for (size_t c = 0; c < cols; ++c) {
+                dot += gr[c] * w[c] * xr[c] * inv;
+              }
+              dot /= static_cast<float>(cols);
+              float* xgr = xg + r * cols;
+              for (size_t c = 0; c < cols; ++c) {
+                float xh = xr[c] * inv;
+                xgr[c] += inv * (gr[c] * w[c] - xh * dot);
+              }
+            }
+          }
+        };
+      });
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                 float eps) {
+  CHECK_EQ(x.rank(), size_t{2});
+  size_t rows = x.dim(0), cols = x.dim(1);
+  CHECK_EQ(weight.size(), cols);
+  CHECK_EQ(bias.size(), cols);
+  std::vector<float> out(x.size());
+  auto saved = std::make_shared<std::vector<float>>(rows * 2);  // mean, inv
+  const float* in = x.data();
+  const float* w = weight.data();
+  const float* b = bias.data();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* xr = in + r * cols;
+    float mean = 0.0f;
+    for (size_t c = 0; c < cols; ++c) mean += xr[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      float d = xr[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    float inv = 1.0f / std::sqrt(var + eps);
+    (*saved)[2 * r] = mean;
+    (*saved)[2 * r + 1] = inv;
+    float* yr = out.data() + r * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      yr[c] = (xr[c] - mean) * inv * w[c] + b[c];
+    }
+  }
+  return Tensor::MakeOpResult(
+      x.shape(), std::move(out), {x, weight, bias},
+      [x, weight, bias, rows, cols, saved](TensorImpl* result) {
+        result->backward_fn = [x, weight, bias, rows, cols, saved,
+                               result]() {
+          const float* g = result->grad.data();
+          const float* in = x.data();
+          const float* w = weight.data();
+          float* wg = weight.requires_grad() ? weight.impl()->MutableGrad()
+                                             : nullptr;
+          float* bg =
+              bias.requires_grad() ? bias.impl()->MutableGrad() : nullptr;
+          float* xg = x.requires_grad() ? x.impl()->MutableGrad() : nullptr;
+          for (size_t r = 0; r < rows; ++r) {
+            const float* xr = in + r * cols;
+            const float* gr = g + r * cols;
+            float mean = (*saved)[2 * r];
+            float inv = (*saved)[2 * r + 1];
+            if (bg != nullptr) {
+              for (size_t c = 0; c < cols; ++c) bg[c] += gr[c];
+            }
+            if (wg != nullptr) {
+              for (size_t c = 0; c < cols; ++c) {
+                wg[c] += gr[c] * (xr[c] - mean) * inv;
+              }
+            }
+            if (xg != nullptr) {
+              float sum_dxh = 0.0f, sum_dxh_xh = 0.0f;
+              for (size_t c = 0; c < cols; ++c) {
+                float xh = (xr[c] - mean) * inv;
+                float dxh = gr[c] * w[c];
+                sum_dxh += dxh;
+                sum_dxh_xh += dxh * xh;
+              }
+              float n = static_cast<float>(cols);
+              float* xgr = xg + r * cols;
+              for (size_t c = 0; c < cols; ++c) {
+                float xh = (xr[c] - mean) * inv;
+                float dxh = gr[c] * w[c];
+                xgr[c] +=
+                    inv * (dxh - sum_dxh / n - xh * sum_dxh_xh / n);
+              }
+            }
+          }
+        };
+      });
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  CHECK_EQ(table.rank(), size_t{2});
+  CHECK(!ids.empty());
+  size_t vocab = table.dim(0), d = table.dim(1);
+  std::vector<float> out(ids.size() * d);
+  const float* tp = table.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    CHECK_GE(ids[i], 0);
+    CHECK_LT(static_cast<size_t>(ids[i]), vocab);
+    std::memcpy(out.data() + i * d, tp + static_cast<size_t>(ids[i]) * d,
+                d * sizeof(float));
+  }
+  auto ids_copy = std::make_shared<std::vector<int>>(ids);
+  return Tensor::MakeOpResult(
+      {ids.size(), d}, std::move(out), {table},
+      [table, ids_copy, d](TensorImpl* result) {
+        result->backward_fn = [table, ids_copy, d, result]() {
+          if (!table.requires_grad()) return;
+          float* tg = table.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t i = 0; i < ids_copy->size(); ++i) {
+            float* row = tg + static_cast<size_t>((*ids_copy)[i]) * d;
+            const float* gr = g + i * d;
+            for (size_t c = 0; c < d; ++c) row[c] += gr[c];
+          }
+        };
+      });
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& rows) {
+  CHECK_EQ(a.rank(), size_t{2});
+  CHECK(!rows.empty());
+  size_t n = a.dim(0), d = a.dim(1);
+  std::vector<float> out(rows.size() * d);
+  const float* in = a.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    CHECK_GE(rows[i], 0);
+    CHECK_LT(static_cast<size_t>(rows[i]), n);
+    std::memcpy(out.data() + i * d, in + static_cast<size_t>(rows[i]) * d,
+                d * sizeof(float));
+  }
+  auto rows_copy = std::make_shared<std::vector<int>>(rows);
+  return Tensor::MakeOpResult(
+      {rows.size(), d}, std::move(out), {a},
+      [a, rows_copy, d](TensorImpl* result) {
+        result->backward_fn = [a, rows_copy, d, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t i = 0; i < rows_copy->size(); ++i) {
+            float* row = ag + static_cast<size_t>((*rows_copy)[i]) * d;
+            const float* gr = g + i * d;
+            for (size_t c = 0; c < d; ++c) row[c] += gr[c];
+          }
+        };
+      });
+}
+
+Tensor Concat1d(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rank(), size_t{1});
+  CHECK_EQ(b.rank(), size_t{1});
+  std::vector<float> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.vec().begin(), a.vec().end());
+  out.insert(out.end(), b.vec().begin(), b.vec().end());
+  size_t na = a.size();
+  return Tensor::MakeOpResult(
+      {a.size() + b.size()}, std::move(out), {a, b},
+      [a, b, na](TensorImpl* result) {
+        result->backward_fn = [a, b, na, result]() {
+          const float* g = result->grad.data();
+          if (a.requires_grad()) {
+            float* ag = a.impl()->MutableGrad();
+            for (size_t i = 0; i < na; ++i) ag[i] += g[i];
+          }
+          if (b.requires_grad()) {
+            float* bg = b.impl()->MutableGrad();
+            for (size_t i = 0; i < b.size(); ++i) bg[i] += g[na + i];
+          }
+        };
+      });
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rank(), size_t{2});
+  CHECK_EQ(b.rank(), size_t{2});
+  CHECK_EQ(a.dim(1), b.dim(1));
+  std::vector<float> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.vec().begin(), a.vec().end());
+  out.insert(out.end(), b.vec().begin(), b.vec().end());
+  size_t na = a.size();
+  return Tensor::MakeOpResult(
+      {a.dim(0) + b.dim(0), a.dim(1)}, std::move(out), {a, b},
+      [a, b, na](TensorImpl* result) {
+        result->backward_fn = [a, b, na, result]() {
+          const float* g = result->grad.data();
+          if (a.requires_grad()) {
+            float* ag = a.impl()->MutableGrad();
+            for (size_t i = 0; i < na; ++i) ag[i] += g[i];
+          }
+          if (b.requires_grad()) {
+            float* bg = b.impl()->MutableGrad();
+            for (size_t i = 0; i < b.size(); ++i) bg[i] += g[na + i];
+          }
+        };
+      });
+}
+
+Tensor MeanAll(const Tensor& a) {
+  float sum = 0.0f;
+  for (float v : a.vec()) sum += v;
+  float inv = 1.0f / static_cast<float>(a.size());
+  return Tensor::MakeOpResult(
+      {1}, {sum * inv}, {a}, [a, inv](TensorImpl* result) {
+        result->backward_fn = [a, inv, result]() {
+          if (!a.requires_grad()) return;
+          float g = result->grad[0] * inv;
+          float* ag = a.impl()->MutableGrad();
+          for (size_t i = 0; i < a.size(); ++i) ag[i] += g;
+        };
+      });
+}
+
+Tensor SumAll(const Tensor& a) {
+  float sum = 0.0f;
+  for (float v : a.vec()) sum += v;
+  return Tensor::MakeOpResult({1}, {sum}, {a}, [a](TensorImpl* result) {
+    result->backward_fn = [a, result]() {
+      if (!a.requires_grad()) return;
+      float g = result->grad[0];
+      float* ag = a.impl()->MutableGrad();
+      for (size_t i = 0; i < a.size(); ++i) ag[i] += g;
+    };
+  });
+}
+
+Tensor MeanAxis0(const Tensor& a) {
+  CHECK_EQ(a.rank(), size_t{2});
+  size_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<float> out(cols, 0.0f);
+  const float* in = a.data();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) out[c] += in[r * cols + c];
+  }
+  float inv = 1.0f / static_cast<float>(rows);
+  for (float& v : out) v *= inv;
+  return Tensor::MakeOpResult(
+      {cols}, std::move(out), {a}, [a, rows, cols, inv](TensorImpl* result) {
+        result->backward_fn = [a, rows, cols, inv, result]() {
+          if (!a.requires_grad()) return;
+          float* ag = a.impl()->MutableGrad();
+          const float* g = result->grad.data();
+          for (size_t r = 0; r < rows; ++r) {
+            for (size_t c = 0; c < cols; ++c) ag[r * cols + c] += g[c] * inv;
+          }
+        };
+      });
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    int ignore_index) {
+  CHECK_EQ(logits.rank(), size_t{2});
+  size_t rows = logits.dim(0), cols = logits.dim(1);
+  CHECK_EQ(targets.size(), rows);
+  auto probs = std::make_shared<std::vector<float>>(logits.size());
+  const float* in = logits.data();
+  double loss = 0.0;
+  size_t valid = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    float* p = probs->data() + r * cols;
+    float mx = x[0];
+    for (size_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      p[c] = std::exp(x[c] - mx);
+      sum += p[c];
+    }
+    float inv = 1.0f / sum;
+    for (size_t c = 0; c < cols; ++c) p[c] *= inv;
+    int t = targets[r];
+    if (t == ignore_index) continue;
+    CHECK_GE(t, 0);
+    CHECK_LT(static_cast<size_t>(t), cols);
+    loss -= std::log(std::max(p[t], 1e-12f));
+    ++valid;
+  }
+  CHECK_GT(valid, size_t{0}) << "CrossEntropy: no valid targets";
+  float mean_loss = static_cast<float>(loss / static_cast<double>(valid));
+  auto targets_copy = std::make_shared<std::vector<int>>(targets);
+  return Tensor::MakeOpResult(
+      {1}, {mean_loss}, {logits},
+      [logits, targets_copy, probs, rows, cols, valid,
+       ignore_index](TensorImpl* result) {
+        result->backward_fn = [logits, targets_copy, probs, rows, cols,
+                               valid, ignore_index, result]() {
+          if (!logits.requires_grad()) return;
+          float g = result->grad[0] / static_cast<float>(valid);
+          float* lg = logits.impl()->MutableGrad();
+          for (size_t r = 0; r < rows; ++r) {
+            int t = (*targets_copy)[r];
+            if (t == ignore_index) continue;
+            const float* p = probs->data() + r * cols;
+            float* row = lg + r * cols;
+            for (size_t c = 0; c < cols; ++c) row[c] += g * p[c];
+            row[static_cast<size_t>(t)] -= g;
+          }
+        };
+      });
+}
+
+Tensor BceWithLogits(const Tensor& logits,
+                     const std::vector<float>& targets) {
+  CHECK_EQ(logits.size(), targets.size());
+  const float* z = logits.data();
+  double loss = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    // max(z,0) - z*t + log(1 + exp(-|z|)): stable for both signs.
+    float zi = z[i];
+    loss += std::max(zi, 0.0f) - zi * targets[i] +
+            std::log1p(std::exp(-std::fabs(zi)));
+  }
+  float inv = 1.0f / static_cast<float>(targets.size());
+  auto targets_copy = std::make_shared<std::vector<float>>(targets);
+  return Tensor::MakeOpResult(
+      {1}, {static_cast<float>(loss) * inv}, {logits},
+      [logits, targets_copy, inv](TensorImpl* result) {
+        result->backward_fn = [logits, targets_copy, inv, result]() {
+          if (!logits.requires_grad()) return;
+          float g = result->grad[0] * inv;
+          float* lg = logits.impl()->MutableGrad();
+          const float* z = logits.data();
+          for (size_t i = 0; i < targets_copy->size(); ++i) {
+            float s = 1.0f / (1.0f + std::exp(-z[i]));
+            lg[i] += g * (s - (*targets_copy)[i]);
+          }
+        };
+      });
+}
+
+Tensor CausalSelfAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                           size_t num_heads, size_t prefix_len) {
+  CHECK_EQ(q.rank(), size_t{2});
+  CHECK_EQ(k.rank(), size_t{2});
+  CHECK_EQ(v.rank(), size_t{2});
+  size_t tq = q.dim(0), d = q.dim(1);
+  size_t tk = k.dim(0);
+  CHECK_EQ(k.dim(1), d);
+  CHECK_EQ(v.dim(1), d);
+  CHECK_EQ(tk, prefix_len + tq)
+      << "key length must be prefix_len + query length";
+  CHECK_GT(num_heads, size_t{0});
+  CHECK_EQ(d % num_heads, size_t{0});
+  size_t dh = d / num_heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // attn holds the per-head post-softmax matrices, [H][Tq][Tk] flattened.
+  auto attn = std::make_shared<std::vector<float>>(num_heads * tq * tk, 0.0f);
+  std::vector<float> out(tq * d, 0.0f);
+  const float* qp = q.data();
+  const float* kp = k.data();
+  const float* vp = v.data();
+
+  util::ParallelFor(num_heads, 1, [&](size_t hbegin, size_t hend) {
+    for (size_t h = hbegin; h < hend; ++h) {
+      size_t off = h * dh;
+      float* ah = attn->data() + h * tq * tk;
+      for (size_t i = 0; i < tq; ++i) {
+        size_t limit = prefix_len + i + 1;  // keys visible to query i
+        float* arow = ah + i * tk;
+        const float* qrow = qp + i * d + off;
+        float mx = -1e30f;
+        for (size_t j = 0; j < limit; ++j) {
+          const float* krow = kp + j * d + off;
+          float s = 0.0f;
+          for (size_t c = 0; c < dh; ++c) s += qrow[c] * krow[c];
+          s *= scale;
+          arow[j] = s;
+          mx = std::max(mx, s);
+        }
+        float sum = 0.0f;
+        for (size_t j = 0; j < limit; ++j) {
+          arow[j] = std::exp(arow[j] - mx);
+          sum += arow[j];
+        }
+        float inv = 1.0f / sum;
+        for (size_t j = 0; j < limit; ++j) arow[j] *= inv;
+        // Masked entries stay exactly zero.
+        float* orow = out.data() + i * d + off;
+        for (size_t j = 0; j < limit; ++j) {
+          float a = arow[j];
+          if (a == 0.0f) continue;
+          const float* vrow = vp + j * d + off;
+          for (size_t c = 0; c < dh; ++c) orow[c] += a * vrow[c];
+        }
+      }
+    }
+  });
+
+  return Tensor::MakeOpResult(
+      {tq, d}, std::move(out), {q, k, v},
+      [q, k, v, num_heads, prefix_len, tq, tk, d, dh, scale,
+       attn](TensorImpl* result) {
+        result->backward_fn = [q, k, v, num_heads, prefix_len, tq, tk, d, dh,
+                               scale, attn, result]() {
+          const float* g = result->grad.data();
+          const float* qp = q.data();
+          const float* kp = k.data();
+          const float* vp = v.data();
+          float* qg = q.requires_grad() ? q.impl()->MutableGrad() : nullptr;
+          float* kg = k.requires_grad() ? k.impl()->MutableGrad() : nullptr;
+          float* vg = v.requires_grad() ? v.impl()->MutableGrad() : nullptr;
+          // Heads write to disjoint column ranges of the gradients, so the
+          // per-head loop is safe to run in parallel.
+          util::ParallelFor(num_heads, 1, [&](size_t hbegin, size_t hend) {
+            std::vector<float> da(tk);  // dA for one query row
+            std::vector<float> ds(tk);  // dS for one query row
+            for (size_t h = hbegin; h < hend; ++h) {
+              size_t off = h * dh;
+              const float* ah = attn->data() + h * tq * tk;
+              for (size_t i = 0; i < tq; ++i) {
+                size_t limit = prefix_len + i + 1;
+                const float* arow = ah + i * tk;
+                const float* grow = g + i * d + off;
+                // dA_j = dO . V_j ; dV_j += A_j * dO
+                for (size_t j = 0; j < limit; ++j) {
+                  const float* vrow = vp + j * d + off;
+                  float acc = 0.0f;
+                  for (size_t c = 0; c < dh; ++c) acc += grow[c] * vrow[c];
+                  da[j] = acc;
+                  if (vg != nullptr && arow[j] != 0.0f) {
+                    float* vgrow = vg + j * d + off;
+                    float a = arow[j];
+                    for (size_t c = 0; c < dh; ++c) vgrow[c] += a * grow[c];
+                  }
+                }
+                // Softmax backward within the visible window.
+                float dot = 0.0f;
+                for (size_t j = 0; j < limit; ++j) dot += da[j] * arow[j];
+                for (size_t j = 0; j < limit; ++j) {
+                  ds[j] = arow[j] * (da[j] - dot) * scale;
+                }
+                // dQ_i += sum_j dS_ij K_j ; dK_j += dS_ij Q_i
+                const float* qrow = qp + i * d + off;
+                float* qgrow = qg != nullptr ? qg + i * d + off : nullptr;
+                for (size_t j = 0; j < limit; ++j) {
+                  float s = ds[j];
+                  if (s == 0.0f) continue;
+                  const float* krow = kp + j * d + off;
+                  if (qgrow != nullptr) {
+                    for (size_t c = 0; c < dh; ++c) qgrow[c] += s * krow[c];
+                  }
+                  if (kg != nullptr) {
+                    float* kgrow = kg + j * d + off;
+                    for (size_t c = 0; c < dh; ++c) kgrow[c] += s * qrow[c];
+                  }
+                }
+              }
+            }
+          });
+        };
+      });
+}
+
+}  // namespace infuserki::tensor

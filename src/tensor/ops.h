@@ -1,0 +1,118 @@
+#ifndef INFUSERKI_TENSOR_OPS_H_
+#define INFUSERKI_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace infuserki::tensor {
+
+// Differentiable operators. All functions build autograd graph nodes when
+// grad mode is on (see NoGradGuard) and some input requires grad.
+//
+// Broadcasting for the binary elementwise ops supports three cases:
+//   * identical shapes,
+//   * `b` is a scalar (one element),
+//   * `b`'s shape is a suffix of `a`'s shape (e.g. bias [D] against [T, D]).
+
+/// Elementwise a + b.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) a * b.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// a + s elementwise.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// a * s elementwise.
+Tensor MulScalar(const Tensor& a, float s);
+
+/// Matrix product [m, k] x [k, n] -> [m, n].
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+/// Matrix product with transposed rhs: [m, k] x [n, k]^T -> [m, n]. This is
+/// the natural layout for weight matrices stored as [out, in].
+Tensor MatmulNT(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose (copies).
+Tensor Transpose(const Tensor& a);
+
+/// Same data, new shape (NumElements must match).
+Tensor Reshape(const Tensor& a, Shape shape);
+
+// -- Nonlinearities --------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);
+Tensor Silu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+
+/// Row-wise softmax over the last dimension of a 2-D tensor.
+Tensor Softmax(const Tensor& a);
+
+// -- Normalization ---------------------------------------------------------
+
+/// RMSNorm over the last dimension: y = x / rms(x) * weight, rows of a 2-D
+/// input normalized independently. `weight` has shape {D}.
+Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps = 1e-5f);
+
+/// LayerNorm over the last dimension with affine parameters {D}.
+Tensor LayerNorm(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                 float eps = 1e-5f);
+
+// -- Indexing --------------------------------------------------------------
+
+/// Gathers rows `ids` of `table` [V, D] -> [ids.size(), D]. Backward
+/// scatter-adds into the table rows.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+
+/// Selects rows of a 2-D tensor -> [rows.size(), D].
+Tensor GatherRows(const Tensor& a, const std::vector<int>& rows);
+
+/// Concatenates two 1-D tensors.
+Tensor Concat1d(const Tensor& a, const Tensor& b);
+
+/// Concatenates two 2-D tensors along rows (same column count).
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+// -- Reductions ------------------------------------------------------------
+
+/// Mean of all elements -> scalar.
+Tensor MeanAll(const Tensor& a);
+
+/// Sum of all elements -> scalar.
+Tensor SumAll(const Tensor& a);
+
+/// Column means of a 2-D tensor [n, d] -> {d}. This is the paper's
+/// Mean(H_P^l) over the sequence dimension (Eq. 4).
+Tensor MeanAxis0(const Tensor& a);
+
+// -- Losses ----------------------------------------------------------------
+
+/// Token-averaged cross entropy of logits [T, V] against integer targets.
+/// Positions whose target equals `ignore_index` contribute nothing.
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    int ignore_index = -1);
+
+/// Mean binary cross entropy with logits (numerically stable).
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets);
+
+// -- Attention -------------------------------------------------------------
+
+/// Fused causal multi-head self-attention.
+///
+/// q has shape [Tq, D]; k and v have shape [Tk, D] with
+/// Tk == prefix_len + Tq. The first `prefix_len` key/value rows form an
+/// always-visible prefix (used by prefix tuning); beyond the prefix the mask
+/// is causal: query i attends to keys j with j < prefix_len + i + 1.
+/// `num_heads` must divide D.
+Tensor CausalSelfAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                           size_t num_heads, size_t prefix_len = 0);
+
+}  // namespace infuserki::tensor
+
+#endif  // INFUSERKI_TENSOR_OPS_H_

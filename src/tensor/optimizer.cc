@@ -1,0 +1,97 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace infuserki::tensor {
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  double sum_sq = 0.0;
+  for (const Tensor& p : params) {
+    for (float g : p.grad()) sum_sq += static_cast<double>(g) * g;
+  }
+  float norm = static_cast<float>(std::sqrt(sum_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      // Tensor handles share storage; the const handle still exposes the
+      // gradient buffer through impl().
+      auto& grad = p.impl()->grad;
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) CHECK(p.defined());
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+AdamW::AdamW(std::vector<Tensor> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;  // untouched this step
+    float* w = p.data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < p.size(); ++j) {
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g[j];
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g[j] * g[j];
+      float m_hat = m[j] / bc1;
+      float v_hat = v[j] / bc2;
+      // Decoupled weight decay: applied to the weight directly, not the
+      // gradient (AdamW's defining property).
+      w[j] -= options_.lr *
+              (m_hat / (std::sqrt(v_hat) + options_.eps) +
+               options_.weight_decay * w[j]);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(params_[i].size(), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;
+    float* w = p.data();
+    const float* g = p.grad().data();
+    if (momentum_ == 0.0f) {
+      for (size_t j = 0; j < p.size(); ++j) w[j] -= lr_ * g[j];
+    } else {
+      float* vel = velocity_[i].data();
+      for (size_t j = 0; j < p.size(); ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        w[j] -= lr_ * vel[j];
+      }
+    }
+  }
+}
+
+}  // namespace infuserki::tensor

@@ -1,0 +1,81 @@
+#ifndef INFUSERKI_TENSOR_OPTIMIZER_H_
+#define INFUSERKI_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace infuserki::tensor {
+
+/// Rescales gradients of `params` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+/// Optimizer base: holds the parameter list and zeroes gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Decoupled weight decay Adam (Loshchilov & Hutter, 2018) — the optimizer
+/// used in the paper's experiments (§4.1).
+class AdamW : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+  };
+
+  AdamW(std::vector<Tensor> params, Options options);
+
+  void Step() override;
+
+  /// Learning-rate override for warmup/decay schedules.
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Plain SGD with optional momentum; used by tests and a couple of
+/// baselines' inner loops.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace infuserki::tensor
+
+#endif  // INFUSERKI_TENSOR_OPTIMIZER_H_

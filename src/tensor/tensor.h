@@ -1,0 +1,167 @@
+#ifndef INFUSERKI_TENSOR_TENSOR_H_
+#define INFUSERKI_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace infuserki::tensor {
+
+/// Dense row-major shape; rank 0 is disallowed (scalars are shape {1}).
+using Shape = std::vector<size_t>;
+
+/// Number of elements in `shape`.
+size_t NumElements(const Shape& shape);
+
+/// "[2, 3]"-style rendering for error messages.
+std::string ShapeToString(const Shape& shape);
+
+class Tensor;
+
+namespace internal {
+
+/// Reference-counted tensor storage plus autograd bookkeeping.
+///
+/// A TensorImpl is a node in a dynamically built computation graph: `parents`
+/// holds the inputs of the op that produced this node and `backward_fn`
+/// scatters this node's gradient into the parents' gradients. Leaf tensors
+/// (parameters, constants) have no parents.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated by MutableGrad()
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  float* MutableGrad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+    return grad.data();
+  }
+};
+
+}  // namespace internal
+
+/// Whether newly created ops record the autograd graph on this thread.
+bool GradEnabled();
+
+/// RAII scope that disables graph recording (inference / evaluation mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Value-semantic handle to a tensor node. Copies share storage (like
+/// torch.Tensor); a default-constructed Tensor is "undefined" and usable
+/// only for defined() checks.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // -- Construction -------------------------------------------------------
+
+  /// Allocates a zero-filled tensor.
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+
+  /// Allocates a tensor filled with `value`.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+
+  /// Wraps existing data; `data.size()` must equal NumElements(shape).
+  static Tensor FromData(Shape shape, std::vector<float> data,
+                         bool requires_grad = false);
+
+  /// Scalar convenience (shape {1}).
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// I.i.d. normal entries.
+  static Tensor Randn(Shape shape, util::Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor RandUniform(Shape shape, util::Rng* rng, float lo, float hi,
+                            bool requires_grad = false);
+
+  // -- Accessors -----------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  size_t size() const { return impl_->data.size(); }
+  size_t dim(size_t i) const { return impl_->shape[i]; }
+  size_t rank() const { return impl_->shape.size(); }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  const std::vector<float>& vec() const { return impl_->data; }
+
+  /// Gradient buffer; undefined before the first Backward() that reaches
+  /// this node. Empty vector means "no gradient accumulated yet".
+  const std::vector<float>& grad() const { return impl_->grad; }
+
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  /// Toggles gradient tracking on a leaf tensor (used to freeze / unfreeze
+  /// parameters). Must not be called on op results.
+  void set_requires_grad(bool value) {
+    CHECK(impl_->parents.empty())
+        << "set_requires_grad on non-leaf tensor";
+    impl_->requires_grad = value;
+  }
+
+  /// Value of a single-element tensor.
+  float item() const {
+    CHECK_EQ(size(), size_t{1}) << "item() on non-scalar";
+    return impl_->data[0];
+  }
+
+  /// Element accessors for 2-D tensors (row-major).
+  float at(size_t r, size_t c) const {
+    DCHECK_EQ(rank(), size_t{2});
+    return impl_->data[r * dim(1) + c];
+  }
+
+  // -- Autograd ------------------------------------------------------------
+
+  /// Runs reverse-mode accumulation from this scalar node. Seeds d(this)=1.
+  void Backward();
+
+  /// Clears this node's accumulated gradient. Const in the shared-storage
+  /// sense (handles share state, like torch.Tensor).
+  void ZeroGrad() const;
+
+  /// Returns a graph-detached copy sharing no autograd history (data is
+  /// copied so later in-place updates do not alias).
+  Tensor Detach() const;
+
+  /// Low-level: internal node access for op implementations.
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+
+  /// Creates an op result node. `backward_fn` must scatter `result.grad`
+  /// into the parents; it is only attached when grad mode is on and some
+  /// parent requires grad.
+  static Tensor MakeOpResult(
+      Shape shape, std::vector<float> data,
+      std::vector<Tensor> parents,
+      const std::function<void(internal::TensorImpl*)>& make_backward);
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+}  // namespace infuserki::tensor
+
+#endif  // INFUSERKI_TENSOR_TENSOR_H_

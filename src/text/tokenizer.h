@@ -1,0 +1,73 @@
+#ifndef INFUSERKI_TEXT_TOKENIZER_H_
+#define INFUSERKI_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace infuserki::text {
+
+/// Special token ids. Fixed so checkpoints stay compatible.
+inline constexpr int kPadId = 0;
+inline constexpr int kBosId = 1;
+inline constexpr int kEosId = 2;
+inline constexpr int kUnkId = 3;
+
+/// Splits raw text into surface tokens: lower-cased alphanumeric runs and
+/// single punctuation characters. Whitespace separates tokens.
+std::vector<std::string> BasicTokenize(std::string_view text);
+
+/// Word-level tokenizer with a frozen vocabulary.
+///
+/// The substitute for a byte-pair-encoded LLaMa tokenizer: at simulator
+/// scale every surface word the synthetic KG can produce is enumerable, so a
+/// closed word vocabulary loses nothing while keeping sequences short.
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  /// Builds a vocabulary over `corpus` keeping words with at least
+  /// `min_count` occurrences (rarer words map to <unk>).
+  static Tokenizer Build(const std::vector<std::string>& corpus,
+                         int min_count = 1);
+
+  /// Adds a word if absent; returns its id. Only valid before freezing into
+  /// a model (vocabulary size feeds the embedding table size).
+  int AddWord(const std::string& word);
+
+  /// Encodes text to ids; unknown words map to <unk>.
+  std::vector<int> Encode(std::string_view text) const;
+
+  /// Encodes with <bos> prepended and optionally <eos> appended.
+  std::vector<int> EncodeWithSpecials(std::string_view text,
+                                      bool add_eos) const;
+
+  /// Joins tokens with single spaces; specials are skipped.
+  std::string Decode(const std::vector<int>& ids) const;
+
+  /// Id for `word` or kUnkId.
+  int WordId(const std::string& word) const;
+
+  /// True when `word` is in the vocabulary.
+  bool HasWord(const std::string& word) const;
+
+  const std::string& IdToWord(int id) const;
+
+  size_t vocab_size() const { return id_to_word_.size(); }
+
+  /// Checkpoint I/O (the model cache stores the tokenizer next to weights).
+  void Serialize(util::BinaryWriter* writer) const;
+  static util::StatusOr<Tokenizer> Deserialize(util::BinaryReader* reader);
+
+ private:
+  std::unordered_map<std::string, int> word_to_id_;
+  std::vector<std::string> id_to_word_;
+};
+
+}  // namespace infuserki::text
+
+#endif  // INFUSERKI_TEXT_TOKENIZER_H_

@@ -1,0 +1,32 @@
+#ifndef INFUSERKI_UTIL_FLAGS_H_
+#define INFUSERKI_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace infuserki::util {
+
+/// Minimal `--key=value` command-line parser for bench/example binaries.
+///
+/// Unrecognized positional arguments are ignored; `--flag` without a value
+/// is treated as `--flag=true`.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_FLAGS_H_

@@ -1,0 +1,99 @@
+#ifndef INFUSERKI_UTIL_LOGGING_H_
+#define INFUSERKI_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace infuserki::util {
+
+/// Log severities, ordered by importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum severity that is actually emitted.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum severity. Thread-compatible: call during
+/// startup before spawning worker threads.
+void SetMinLogLevel(LogLevel level);
+
+/// Stream-style log message. Emits on destruction; aborts for kFatal.
+///
+/// Not for direct use: use the LOG()/CHECK() macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream when the severity is below the emission threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace infuserki::util
+
+#define INFUSERKI_LOG_INTERNAL(level)                                \
+  ::infuserki::util::LogMessage(::infuserki::util::LogLevel::level, \
+                                __FILE__, __LINE__)                  \
+      .stream()
+
+#define LOG_DEBUG INFUSERKI_LOG_INTERNAL(kDebug)
+#define LOG_INFO INFUSERKI_LOG_INTERNAL(kInfo)
+#define LOG_WARNING INFUSERKI_LOG_INTERNAL(kWarning)
+#define LOG_ERROR INFUSERKI_LOG_INTERNAL(kError)
+#define LOG_FATAL INFUSERKI_LOG_INTERNAL(kFatal)
+
+/// CHECK(cond) aborts with a message when `cond` is false. Active in all
+/// build modes: invariants in a database-style codebase must not be compiled
+/// out silently.
+#define CHECK(cond)                                      \
+  if (!(cond)) LOG_FATAL << "Check failed: " #cond " "
+
+#define CHECK_OP(a, b, op)                                                  \
+  if (!((a)op(b)))                                                          \
+  LOG_FATAL << "Check failed: " #a " " #op " " #b " (" << (a) << " vs. "    \
+            << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#ifndef NDEBUG
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#else
+#define DCHECK(cond) \
+  if (false) ::infuserki::util::NullStream()
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#endif
+
+#endif  // INFUSERKI_UTIL_LOGGING_H_

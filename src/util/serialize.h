@@ -1,0 +1,110 @@
+#ifndef INFUSERKI_UTIL_SERIALIZE_H_
+#define INFUSERKI_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace infuserki::util {
+
+/// Little binary writer for checkpoints. All integers are fixed-width
+/// little-endian (we only target little-endian hosts); floats are IEEE-754.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteFloatVector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  Status Finish() {
+    out_.flush();
+    if (!out_) return Status::DataLoss("short write to " + path_);
+    return Status::OK();
+  }
+
+ private:
+  void WriteRaw(const void* data, size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+  }
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Counterpart reader. Each accessor reports corruption through ok().
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+  const std::string& path() const { return path_; }
+
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  float ReadF32() {
+    float v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+
+  std::string ReadString() {
+    uint64_t size = ReadU64();
+    if (!ok() || size > (1ull << 32)) {
+      in_.setstate(std::ios::failbit);
+      return "";
+    }
+    std::string s(size, '\0');
+    ReadRaw(s.data(), size);
+    return s;
+  }
+
+  std::vector<float> ReadFloatVector() {
+    uint64_t size = ReadU64();
+    if (!ok() || size > (1ull << 32)) {
+      in_.setstate(std::ios::failbit);
+      return {};
+    }
+    std::vector<float> v(size);
+    ReadRaw(v.data(), size * sizeof(float));
+    return v;
+  }
+
+ private:
+  void ReadRaw(void* data, size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  }
+
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_SERIALIZE_H_

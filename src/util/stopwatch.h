@@ -1,0 +1,27 @@
+#ifndef INFUSERKI_UTIL_STOPWATCH_H_
+#define INFUSERKI_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace infuserki::util {
+
+/// Wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_STOPWATCH_H_

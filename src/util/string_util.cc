@@ -1,0 +1,109 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace infuserki::util {
+
+std::vector<std::string> Split(std::string_view text,
+                               std::string_view delims) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) pieces.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      return out;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // Two-row dynamic program; b is the shorter string.
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t substitute = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::string FormatFloat(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+bool Contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+}  // namespace infuserki::util

@@ -1,0 +1,45 @@
+#ifndef INFUSERKI_UTIL_STRING_UTIL_H_
+#define INFUSERKI_UTIL_STRING_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infuserki::util {
+
+/// Splits `text` at any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view text,
+                               std::string_view delims = " ");
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Levenshtein distance (unit costs). Used by the MCQ distractor selection
+/// rule from Appendix A.1 of the paper.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Formats a double with fixed precision, e.g. FormatFloat(0.987, 2) ==
+/// "0.99".
+std::string FormatFloat(double value, int precision);
+
+/// True when `text` contains `needle`.
+bool Contains(std::string_view text, std::string_view needle);
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+#ifndef INFUSERKI_UTIL_TABLE_PRINTER_H_
+#define INFUSERKI_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace infuserki::util {
+
+/// Accumulates rows and renders them as an aligned console table and/or a
+/// CSV file. Used by every bench binary to print paper-style tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders an aligned, pipe-separated table.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,58 @@
+#ifndef INFUSERKI_UTIL_THREADPOOL_H_
+#define INFUSERKI_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace infuserki::util {
+
+/// Fixed-size worker pool used to parallelize matmul-shaped loops.
+///
+/// Thread-safe. Destruction joins all workers after draining the queue.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> fn);
+
+  /// Blocks until all scheduled tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Returns the process-wide shared pool (lazily created, never destroyed,
+/// per the static-storage-duration rules).
+ThreadPool& GlobalThreadPool();
+
+/// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+/// global pool. Runs inline when `n` is small or only one thread exists.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_THREADPOOL_H_

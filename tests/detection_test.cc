@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/detection.h"
+#include "kg/synth.h"
+
+namespace infuserki::core {
+namespace {
+
+// A deterministic environment: a tiny LM trained on nothing answers MCQs
+// essentially at random, so detection should split roughly 25/75.
+TEST(Detection, RandomModelSplitsNearChance) {
+  kg::KnowledgeGraph kg = kg::SyntheticUmls({.num_triplets = 80, .seed = 1});
+  kg::TemplateEngine templates;
+  kg::McqBuilder builder(&kg, &templates);
+  util::Rng rng(2);
+  std::vector<kg::Mcq> questions = builder.BuildAll(1, &rng);
+
+  // Vocabulary over all questions and options.
+  std::vector<std::string> corpus;
+  for (const kg::Mcq& mcq : questions) {
+    corpus.push_back(mcq.question);
+    for (const std::string& option : mcq.options) corpus.push_back(option);
+  }
+  corpus.push_back("question answer :");
+  text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+
+  model::TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  util::Rng model_rng(3);
+  model::TransformerLM lm(config, &model_rng);
+
+  DetectionResult result = DetectKnowledge(lm, tokenizer, questions);
+  EXPECT_EQ(result.known.size() + result.unknown.size(), questions.size());
+  // Untrained model: correctness is chance-level; allow a wide band.
+  double fraction = result.KnownFraction();
+  EXPECT_GT(fraction, 0.02);
+  EXPECT_LT(fraction, 0.6);
+  // is_known must be consistent with the index lists.
+  for (size_t index : result.known) {
+    EXPECT_TRUE(result.is_known[index]);
+  }
+  for (size_t index : result.unknown) {
+    EXPECT_FALSE(result.is_known[index]);
+  }
+}
+
+TEST(Detection, AnswerModesBothRun) {
+  kg::KnowledgeGraph kg = kg::SyntheticUmls({.num_triplets = 30, .seed = 4});
+  kg::TemplateEngine templates;
+  kg::McqBuilder builder(&kg, &templates);
+  util::Rng rng(5);
+  kg::Mcq mcq = builder.Build(0, 1, &rng);
+  std::vector<std::string> corpus = {mcq.question, "question answer : ( a )"};
+  for (const std::string& option : mcq.options) corpus.push_back(option);
+  text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+  model::TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  util::Rng model_rng(6);
+  model::TransformerLM lm(config, &model_rng);
+  int likelihood = AnswerMcq(lm, tokenizer, mcq, AnswerMode::kLikelihood);
+  EXPECT_GE(likelihood, 0);
+  EXPECT_LT(likelihood, 4);
+  int generation = AnswerMcq(lm, tokenizer, mcq, AnswerMode::kGeneration);
+  EXPECT_GE(generation, -1);  // -1 = nothing extractable, counted wrong
+  EXPECT_LT(generation, 4);
+}
+
+}  // namespace
+}  // namespace infuserki::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "eval/downstream.h"
+#include "kg/synth.h"
+
+namespace infuserki::eval {
+namespace {
+
+class DownstreamFixture : public ::testing::Test {
+ protected:
+  DownstreamFixture()
+      : kg_(kg::SyntheticMetaQa({.num_triplets = 60, .seed = 1})),
+        rng_(2) {}
+
+  kg::KnowledgeGraph kg_;
+  kg::TemplateEngine templates_;
+  util::Rng rng_;
+};
+
+TEST_F(DownstreamFixture, ClaimTaskMixesTrueAndFalse) {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < 40; ++i) indices.push_back(i);
+  std::vector<ClaimItem> items =
+      BuildClaimVerificationTask(kg_, templates_, indices, &rng_);
+  ASSERT_EQ(items.size(), 40u);
+  size_t positives = 0;
+  for (const ClaimItem& item : items) {
+    EXPECT_NE(item.prompt.find("is this claim true"), std::string::npos);
+    if (item.label) ++positives;
+  }
+  EXPECT_GT(positives, 8u);
+  EXPECT_LT(positives, 32u);
+}
+
+TEST_F(DownstreamFixture, ClaimTaskCorruptionUsesSameRelationPool) {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < 30; ++i) indices.push_back(i);
+  std::vector<ClaimItem> items =
+      BuildClaimVerificationTask(kg_, templates_, indices, &rng_);
+  for (const ClaimItem& item : items) {
+    if (item.label) continue;
+    // A corrupted claim must NOT contain the gold tail.
+    const kg::Triplet& triplet = kg_.triplets()[item.triplet_index];
+    const std::string& gold = kg_.entity(triplet.tail).name;
+    // (gold may coincidentally be a substring of another entity; use a
+    // spaced form to reduce false positives)
+    EXPECT_EQ(item.prompt.find(" " + gold + " "), std::string::npos)
+        << item.prompt;
+  }
+}
+
+TEST_F(DownstreamFixture, OneHopItemsContainGold) {
+  std::vector<size_t> indices = {0, 5, 10, 15};
+  std::vector<OneHopItem> items =
+      Build1HopTask(kg_, templates_, indices, 5, &rng_);
+  ASSERT_EQ(items.size(), 4u);
+  for (const OneHopItem& item : items) {
+    ASSERT_GE(item.gold, 0);
+    ASSERT_LT(static_cast<size_t>(item.gold), item.candidates.size());
+    EXPECT_LE(item.candidates.size(), 5u);
+    const kg::Triplet& triplet = kg_.triplets()[item.triplet_index];
+    EXPECT_EQ(item.candidates[static_cast<size_t>(item.gold)],
+              kg_.entity(triplet.tail).name);
+    EXPECT_NE(item.prompt.find("question :"), std::string::npos);
+  }
+}
+
+TEST_F(DownstreamFixture, EvaluatorsRunOnTinyModel) {
+  std::vector<size_t> indices = {0, 1, 2, 3};
+  std::vector<ClaimItem> claims =
+      BuildClaimVerificationTask(kg_, templates_, indices, &rng_);
+  std::vector<OneHopItem> onehop =
+      Build1HopTask(kg_, templates_, indices, 4, &rng_);
+  std::vector<std::string> corpus = {"yes no question answer claim true"};
+  for (const ClaimItem& item : claims) corpus.push_back(item.prompt);
+  for (const OneHopItem& item : onehop) {
+    corpus.push_back(item.prompt);
+    for (const std::string& candidate : item.candidates) {
+      corpus.push_back(candidate);
+    }
+  }
+  text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+  model::TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.max_seq_len = 128;
+  util::Rng model_rng(7);
+  model::TransformerLM lm(config, &model_rng);
+  double claim_f1 = EvaluateClaimTask(lm, tokenizer, claims);
+  EXPECT_GE(claim_f1, 0.0);
+  EXPECT_LE(claim_f1, 1.0);
+  double onehop_acc = Evaluate1HopTask(lm, tokenizer, onehop);
+  EXPECT_GE(onehop_acc, 0.0);
+  EXPECT_LE(onehop_acc, 1.0);
+}
+
+}  // namespace
+}  // namespace infuserki::eval

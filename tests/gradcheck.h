@@ -1,0 +1,57 @@
+#ifndef INFUSERKI_TESTS_GRADCHECK_H_
+#define INFUSERKI_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace infuserki::testing {
+
+/// Compares analytic gradients against central finite differences for a
+/// scalar-valued function of several input tensors.
+///
+/// `fn` must rebuild the computation from scratch on every call (it is
+/// invoked many times with perturbed inputs).
+inline void ExpectGradientsMatch(
+    const std::function<tensor::Tensor()>& fn,
+    const std::vector<tensor::Tensor>& inputs, float eps = 1e-2f,
+    float rtol = 5e-2f, float atol = 1e-3f) {
+  // Analytic pass.
+  for (const tensor::Tensor& input : inputs) input.ZeroGrad();
+  tensor::Tensor loss = fn();
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (const tensor::Tensor& input : inputs) {
+    ASSERT_TRUE(input.requires_grad());
+    std::vector<float> grad = input.grad();
+    if (grad.empty()) grad.assign(input.size(), 0.0f);
+    analytic.push_back(std::move(grad));
+  }
+
+  // Numeric pass.
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    tensor::Tensor input = inputs[t];
+    for (size_t i = 0; i < input.size(); ++i) {
+      float original = input.data()[i];
+      input.data()[i] = original + eps;
+      float plus = fn().item();
+      input.data()[i] = original - eps;
+      float minus = fn().item();
+      input.data()[i] = original;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float abs_err = std::fabs(analytic[t][i] - numeric);
+      float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_LE(abs_err, tol)
+          << "tensor " << t << " element " << i << ": analytic "
+          << analytic[t][i] << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace infuserki::testing
+
+#endif  // INFUSERKI_TESTS_GRADCHECK_H_

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "kg/io.h"
+#include "kg/synth.h"
+
+namespace infuserki::kg {
+namespace {
+
+TEST(KgIo, RoundTripPreservesEverything) {
+  KnowledgeGraph original =
+      SyntheticUmls({.num_triplets = 50, .seed = 11});
+  std::string path = ::testing::TempDir() + "/kg_roundtrip.tsv";
+  ASSERT_TRUE(SaveTsv(original, path).ok());
+  auto loaded = LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_triplets(), original.num_triplets());
+  EXPECT_EQ(loaded->num_relations(), original.num_relations());
+  // Only entities participating in triplets survive a TSV round trip;
+  // generators may allocate pool entities that never get used.
+  EXPECT_LE(loaded->num_entities(), original.num_entities());
+  for (const Triplet& triplet : original.triplets()) {
+    int head = loaded->FindEntity(original.entity(triplet.head).name);
+    int relation =
+        loaded->FindRelation(original.relation(triplet.relation).name);
+    int tail = loaded->FindEntity(original.entity(triplet.tail).name);
+    ASSERT_GE(head, 0);
+    ASSERT_GE(relation, 0);
+    EXPECT_EQ(loaded->TailOf(head, relation), tail);
+  }
+  // Relation surfaces survive.
+  int rel = loaded->FindRelation("has_finding_site");
+  ASSERT_GE(rel, 0);
+  EXPECT_EQ(loaded->relation(rel).surface, "finding site");
+  std::remove(path.c_str());
+}
+
+TEST(KgIo, LoadPlainTriplesWithoutHeaders) {
+  std::string path = ::testing::TempDir() + "/kg_plain.tsv";
+  {
+    std::ofstream out(path);
+    out << "aspirin\ttreats\theadache\n";
+    out << "ibuprofen\ttreats\tfever\n";
+  }
+  auto loaded = LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_triplets(), 2u);
+  int rel = loaded->FindRelation("treats");
+  ASSERT_GE(rel, 0);
+  EXPECT_EQ(loaded->relation(rel).surface, "treats");  // name as surface
+  std::remove(path.c_str());
+}
+
+TEST(KgIo, MalformedLineReported) {
+  std::string path = ::testing::TempDir() + "/kg_bad.tsv";
+  {
+    std::ofstream out(path);
+    out << "only_two\tfields\n";
+  }
+  auto loaded = LoadTsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":1:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KgIo, DuplicateTripleReportedWithLine) {
+  std::string path = ::testing::TempDir() + "/kg_dup.tsv";
+  {
+    std::ofstream out(path);
+    out << "a\tr\tb\n";
+    out << "a\tr\tc\n";
+  }
+  auto loaded = LoadTsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KgIo, MissingFileIsNotFound) {
+  auto loaded = LoadTsv("/nonexistent/kg.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace infuserki::kg

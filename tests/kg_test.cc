@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kg/dataset.h"
+#include "kg/graph.h"
+#include "kg/mcq.h"
+#include "kg/synth.h"
+#include "kg/templates.h"
+
+namespace infuserki::kg {
+namespace {
+
+KnowledgeGraph TinyGraph() {
+  KnowledgeGraph kg;
+  int rel = kg.AddRelation("treats", "treatment target");
+  int a = kg.AddEntity("aspirin");
+  int h = kg.AddEntity("headache");
+  int f = kg.AddEntity("fever");
+  int c = kg.AddEntity("cold");
+  EXPECT_TRUE(kg.AddTriplet(a, rel, h).ok());
+  int b = kg.AddEntity("ibuprofen");
+  EXPECT_TRUE(kg.AddTriplet(b, rel, f).ok());
+  int d = kg.AddEntity("paracetamol");
+  EXPECT_TRUE(kg.AddTriplet(d, rel, c).ok());
+  return kg;
+}
+
+TEST(KnowledgeGraph, AddAndLookup) {
+  KnowledgeGraph kg = TinyGraph();
+  EXPECT_EQ(kg.num_triplets(), 3u);
+  EXPECT_EQ(kg.num_relations(), 1u);
+  int aspirin = kg.FindEntity("aspirin");
+  ASSERT_GE(aspirin, 0);
+  int treats = kg.FindRelation("treats");
+  EXPECT_EQ(kg.TailOf(aspirin, treats), kg.FindEntity("headache"));
+  EXPECT_EQ(kg.FindEntity("missing"), -1);
+  EXPECT_EQ(kg.FindRelation("missing"), -1);
+}
+
+TEST(KnowledgeGraph, AddEntityIdempotent) {
+  KnowledgeGraph kg;
+  EXPECT_EQ(kg.AddEntity("x"), kg.AddEntity("x"));
+  EXPECT_EQ(kg.num_entities(), 1u);
+}
+
+TEST(KnowledgeGraph, DuplicateHeadRelationRejected) {
+  KnowledgeGraph kg;
+  int rel = kg.AddRelation("r", "r");
+  int a = kg.AddEntity("a");
+  int b = kg.AddEntity("b");
+  int c = kg.AddEntity("c");
+  EXPECT_TRUE(kg.AddTriplet(a, rel, b).ok());
+  util::Status dup = kg.AddTriplet(a, rel, c);
+  EXPECT_EQ(dup.code(), util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(kg.num_triplets(), 1u);
+}
+
+TEST(KnowledgeGraph, BoundsChecked) {
+  KnowledgeGraph kg;
+  int rel = kg.AddRelation("r", "r");
+  int a = kg.AddEntity("a");
+  EXPECT_EQ(kg.AddTriplet(a, rel, 99).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(kg.AddTriplet(a, 7, a).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(KnowledgeGraph, TailPool) {
+  KnowledgeGraph kg = TinyGraph();
+  int treats = kg.FindRelation("treats");
+  const std::vector<int>& pool = kg.TailPool(treats);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(KnowledgeGraph, TripletsWithHead) {
+  KnowledgeGraph kg;
+  int r1 = kg.AddRelation("r1", "r1");
+  int r2 = kg.AddRelation("r2", "r2");
+  int a = kg.AddEntity("a");
+  int b = kg.AddEntity("b");
+  ASSERT_TRUE(kg.AddTriplet(a, r1, b).ok());
+  ASSERT_TRUE(kg.AddTriplet(a, r2, b).ok());
+  ASSERT_TRUE(kg.AddTriplet(b, r1, a).ok());
+  EXPECT_EQ(kg.TripletsWithHead(a).size(), 2u);
+  EXPECT_EQ(kg.TripletsWithHead(b).size(), 1u);
+}
+
+TEST(Templates, FiveDistinctQuestionForms) {
+  KnowledgeGraph kg = TinyGraph();
+  TemplateEngine engine;
+  const Triplet& triplet = kg.triplets()[0];
+  std::set<std::string> questions;
+  for (int t = 1; t <= kNumTemplates; ++t) {
+    std::string q = engine.Question(kg, triplet, t);
+    EXPECT_NE(q.find("aspirin"), std::string::npos) << q;
+    questions.insert(q);
+  }
+  EXPECT_EQ(questions.size(), static_cast<size_t>(kNumTemplates));
+}
+
+TEST(Templates, StatementContainsBothEntities) {
+  KnowledgeGraph kg = TinyGraph();
+  TemplateEngine engine;
+  std::string statement = engine.Statement(kg, kg.triplets()[0]);
+  EXPECT_NE(statement.find("aspirin"), std::string::npos);
+  EXPECT_NE(statement.find("headache"), std::string::npos);
+}
+
+TEST(Templates, YesNoOverride) {
+  KnowledgeGraph kg = TinyGraph();
+  TemplateEngine engine;
+  int fever = kg.FindEntity("fever");
+  std::string fake = engine.YesNoQuestion(kg, kg.triplets()[0], fever);
+  EXPECT_NE(fake.find("fever"), std::string::npos);
+  EXPECT_EQ(fake.find("headache"), std::string::npos);
+}
+
+TEST(Templates, CustomOverrideRespected) {
+  KnowledgeGraph kg = TinyGraph();
+  TemplateEngine engine;
+  RelationTemplates custom;
+  custom.qa = {"q1 [S]", "q2 [S]", "q3 [S]", "q4 [S]", "q5 [S]"};
+  custom.yes_no = "is it [O] for [S] ?";
+  custom.statement = "[S] -> [O]";
+  engine.SetTemplates(kg.FindRelation("treats"), custom);
+  EXPECT_EQ(engine.Question(kg, kg.triplets()[0], 1), "q1 aspirin");
+  EXPECT_EQ(engine.Statement(kg, kg.triplets()[0]), "aspirin -> headache");
+}
+
+TEST(Mcq, GoldAmongOptionsAndUnique) {
+  util::Rng rng(5);
+  KnowledgeGraph kg = SyntheticUmls({.num_triplets = 60, .seed = 2});
+  TemplateEngine engine;
+  McqBuilder builder(&kg, &engine);
+  for (size_t i = 0; i < 20; ++i) {
+    Mcq mcq = builder.Build(i, 1, &rng);
+    const Triplet& triplet = kg.triplets()[i];
+    EXPECT_EQ(mcq.options[static_cast<size_t>(mcq.correct)],
+              kg.entity(triplet.tail).name);
+    std::set<std::string> distinct(mcq.options.begin(), mcq.options.end());
+    EXPECT_EQ(distinct.size(), 4u) << "duplicate options in MCQ " << i;
+  }
+}
+
+TEST(Mcq, PromptFormats) {
+  util::Rng rng(6);
+  KnowledgeGraph kg = TinyGraph();
+  TemplateEngine engine;
+  McqBuilder builder(&kg, &engine);
+  Mcq mcq = builder.Build(0, 1, &rng);
+  std::string with_options = FormatMcqPrompt(mcq);
+  EXPECT_NE(with_options.find("( a )"), std::string::npos);
+  EXPECT_NE(with_options.find("answer :"), std::string::npos);
+  std::string without = FormatQuestionPrompt(mcq);
+  EXPECT_EQ(without.find("( a )"), std::string::npos);
+  EXPECT_NE(without.find("question :"), std::string::npos);
+  EXPECT_EQ(McqGoldResponse(mcq),
+            mcq.options[static_cast<size_t>(mcq.correct)]);
+}
+
+TEST(Mcq, InstructionWrapper) {
+  std::string prompt = FormatInstructionPrompt("do the thing");
+  EXPECT_NE(prompt.find("### instruction : do the thing"),
+            std::string::npos);
+  EXPECT_NE(prompt.find("### response :"), std::string::npos);
+}
+
+TEST(Synth, UmlsSizes) {
+  KnowledgeGraph kg = SyntheticUmls({.num_triplets = 120, .seed = 3});
+  EXPECT_EQ(kg.num_triplets(), 120u);
+  EXPECT_EQ(kg.num_relations(), 24u);
+  EXPECT_GT(kg.num_entities(), 100u);
+}
+
+TEST(Synth, UmlsDeterministic) {
+  KnowledgeGraph a = SyntheticUmls({.num_triplets = 50, .seed = 9});
+  KnowledgeGraph b = SyntheticUmls({.num_triplets = 50, .seed = 9});
+  ASSERT_EQ(a.num_triplets(), b.num_triplets());
+  for (size_t i = 0; i < a.num_triplets(); ++i) {
+    EXPECT_TRUE(a.triplets()[i] == b.triplets()[i]);
+  }
+}
+
+TEST(Synth, MetaQaNineRelations) {
+  KnowledgeGraph kg = SyntheticMetaQa({.num_triplets = 90, .seed = 4});
+  EXPECT_EQ(kg.num_triplets(), 90u);
+  EXPECT_EQ(kg.num_relations(), 9u);
+  EXPECT_GE(kg.FindRelation("directed_by"), 0);
+  EXPECT_GE(kg.FindRelation("has_imdb_votes"), 0);
+}
+
+TEST(Synth, UniqueHeadRelationPairs) {
+  KnowledgeGraph kg = SyntheticUmls({.num_triplets = 100, .seed = 5});
+  std::set<std::pair<int, int>> seen;
+  for (const Triplet& triplet : kg.triplets()) {
+    EXPECT_TRUE(seen.insert({triplet.head, triplet.relation}).second);
+  }
+}
+
+TEST(Dataset, QaSamplesWellFormed) {
+  KnowledgeGraph kg = SyntheticUmls({.num_triplets = 40, .seed = 6});
+  TemplateEngine engine;
+  DatasetBuilder builder(&kg, &engine);
+  util::Rng rng(7);
+  std::vector<QaSample> samples = builder.BuildQa({0, 1, 2}, 2, &rng);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const QaSample& sample : samples) {
+    EXPECT_EQ(sample.template_id, 2);
+    EXPECT_NE(sample.prompt.find("answer :"), std::string::npos);
+    EXPECT_EQ(sample.response, McqGoldResponse(sample.mcq));
+  }
+}
+
+TEST(Dataset, YesNoBalancedish) {
+  KnowledgeGraph kg = SyntheticUmls({.num_triplets = 60, .seed = 8});
+  TemplateEngine engine;
+  DatasetBuilder builder(&kg, &engine);
+  util::Rng rng(9);
+  std::vector<size_t> indices(60);
+  for (size_t i = 0; i < 60; ++i) indices[i] = i;
+  std::vector<YesNoSample> samples = builder.BuildYesNo(indices, &rng);
+  size_t positives = 0;
+  for (const YesNoSample& sample : samples) {
+    if (sample.answer) ++positives;
+  }
+  EXPECT_GT(positives, 15u);
+  EXPECT_LT(positives, 45u);
+}
+
+TEST(Dataset, FillerSentencesNonEmpty) {
+  util::Rng rng(10);
+  std::vector<std::string> filler = FillerSentences(5, &rng);
+  EXPECT_EQ(filler.size(), 5u);
+  for (const std::string& sentence : filler) {
+    EXPECT_FALSE(sentence.empty());
+  }
+}
+
+}  // namespace
+}  // namespace infuserki::kg

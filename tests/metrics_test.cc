@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/tsne.h"
+
+namespace infuserki::eval {
+namespace {
+
+TEST(Accuracy, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {1}), 0.0);
+}
+
+TEST(BinaryMacroF1, Perfect) {
+  EXPECT_DOUBLE_EQ(BinaryMacroF1({1, 0, 1, 0}, {1, 0, 1, 0}), 1.0);
+}
+
+TEST(BinaryMacroF1, AllOneClassPredicted) {
+  // Predicting all-positive on a balanced set: F1(pos)=2/3, F1(neg)=0.
+  double f1 = BinaryMacroF1({1, 1, 1, 1}, {1, 0, 1, 0});
+  EXPECT_NEAR(f1, (2.0 / 3.0 + 0.0) / 2.0, 1e-9);
+}
+
+TEST(BinaryMacroF1, KnownMixedValue) {
+  // labels:  1 1 0 0 ; preds: 1 0 0 1
+  // class 1: tp=1 fp=1 fn=1 -> F1 = 2/4 = 0.5 ; class 0 symmetric.
+  EXPECT_NEAR(BinaryMacroF1({1, 0, 0, 1}, {1, 1, 0, 0}), 0.5, 1e-9);
+}
+
+TEST(MeanRate, Basic) {
+  EXPECT_DOUBLE_EQ(MeanRate({1, 1, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanRate({}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanRate({1}), 1.0);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along the x-axis with small y noise: PC1 ~ x.
+  std::vector<double> points;
+  size_t n = 40;
+  for (size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i) - 20.0;
+    points.push_back(x);
+    points.push_back(0.01 * ((i % 3) - 1.0));
+  }
+  std::vector<double> projected = PcaProject(points, n, 2, 1);
+  // Projected coordinates must correlate almost perfectly with x.
+  double mean_x = 0, mean_p = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += points[2 * i];
+    mean_p += projected[i];
+  }
+  mean_x /= n;
+  mean_p /= n;
+  double cov = 0, var_x = 0, var_p = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = points[2 * i] - mean_x;
+    double dp = projected[i] - mean_p;
+    cov += dx * dp;
+    var_x += dx * dx;
+    var_p += dp * dp;
+  }
+  double corr = std::fabs(cov / std::sqrt(var_x * var_p));
+  EXPECT_GT(corr, 0.999);
+}
+
+TEST(Tsne, SeparatesTwoGaussians) {
+  util::Rng rng(1);
+  size_t per_cluster = 20, dim = 10;
+  std::vector<double> points;
+  std::vector<int> labels;
+  for (size_t i = 0; i < per_cluster; ++i) {
+    for (size_t c = 0; c < dim; ++c) points.push_back(rng.Normal(0.0, 0.3));
+    labels.push_back(0);
+  }
+  for (size_t i = 0; i < per_cluster; ++i) {
+    for (size_t c = 0; c < dim; ++c) points.push_back(rng.Normal(5.0, 0.3));
+    labels.push_back(1);
+  }
+  size_t n = 2 * per_cluster;
+  TsneOptions options;
+  options.iterations = 250;
+  std::vector<double> coords = Tsne(points, n, dim, options);
+  ASSERT_EQ(coords.size(), n * 2);
+  for (double v : coords) EXPECT_TRUE(std::isfinite(v));
+  double separation = SeparationRatio(coords, n, 2, labels);
+  EXPECT_GT(separation, 2.0) << "t-SNE failed to separate clear clusters";
+}
+
+TEST(SeparationRatio, HigherForSeparatedData) {
+  // Two 1-D clusters at 0 and 10 vs fully interleaved labels.
+  std::vector<double> coords = {0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  double separated = SeparationRatio(coords, 6, 1, {0, 0, 0, 1, 1, 1});
+  double interleaved = SeparationRatio(coords, 6, 1, {0, 1, 0, 1, 0, 1});
+  EXPECT_GT(separated, interleaved);
+  EXPECT_GT(separated, 10.0);
+}
+
+}  // namespace
+}  // namespace infuserki::eval

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <numeric>
+#include <vector>
+
+#include "util/table_printer.h"
+#include "util/threadpool.h"
+
+namespace infuserki::util {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(200);
+  ParallelFor(200, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSmallRanges) {
+  bool called = false;
+  ParallelFor(0, 8, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  size_t total = 0;
+  ParallelFor(3, 8, [&](size_t begin, size_t end) {
+    total += end - begin;
+  });
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(TablePrinter, AlignedOutputAndCsv) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22,2\"x\""});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| alpha |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+
+  std::string path = ::testing::TempDir() + "/table.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+  std::getline(in, line);
+  // Quoted cell with escaped quotes.
+  EXPECT_EQ(line, "b,\"22,2\"\"x\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinter, CsvToBadPathFails) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent-dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace infuserki::util

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "text/tokenizer.h"
+#include "util/serialize.h"
+
+namespace infuserki::text {
+namespace {
+
+TEST(BasicTokenize, SplitsWordsAndPunctuation) {
+  EXPECT_EQ(BasicTokenize("What is X?"),
+            (std::vector<std::string>{"what", "is", "x", "?"}));
+  EXPECT_EQ(BasicTokenize("( a ) foo-bar"),
+            (std::vector<std::string>{"(", "a", ")", "foo", "-", "bar"}));
+  EXPECT_TRUE(BasicTokenize("   ").empty());
+  EXPECT_EQ(BasicTokenize("type 5"),
+            (std::vector<std::string>{"type", "5"}));
+}
+
+TEST(Tokenizer, SpecialsFixed) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.vocab_size(), 4u);
+  EXPECT_EQ(tokenizer.IdToWord(kPadId), "<pad>");
+  EXPECT_EQ(tokenizer.IdToWord(kBosId), "<bos>");
+  EXPECT_EQ(tokenizer.IdToWord(kEosId), "<eos>");
+  EXPECT_EQ(tokenizer.IdToWord(kUnkId), "<unk>");
+}
+
+TEST(Tokenizer, BuildAndEncode) {
+  Tokenizer tokenizer =
+      Tokenizer::Build({"the cat sat", "the dog ran"});
+  EXPECT_TRUE(tokenizer.HasWord("cat"));
+  EXPECT_TRUE(tokenizer.HasWord("dog"));
+  std::vector<int> ids = tokenizer.Encode("the cat ran");
+  EXPECT_EQ(ids.size(), 3u);
+  for (int id : ids) EXPECT_NE(id, kUnkId);
+  EXPECT_EQ(tokenizer.Encode("unicorn")[0], kUnkId);
+}
+
+TEST(Tokenizer, RoundTripDecode) {
+  Tokenizer tokenizer = Tokenizer::Build({"alpha beta gamma"});
+  std::vector<int> ids =
+      tokenizer.EncodeWithSpecials("alpha gamma", /*add_eos=*/true);
+  EXPECT_EQ(ids.front(), kBosId);
+  EXPECT_EQ(ids.back(), kEosId);
+  EXPECT_EQ(tokenizer.Decode(ids), "alpha gamma");
+}
+
+TEST(Tokenizer, MinCountFilters) {
+  Tokenizer tokenizer =
+      Tokenizer::Build({"rare common common"}, /*min_count=*/2);
+  EXPECT_FALSE(tokenizer.HasWord("rare"));
+  EXPECT_TRUE(tokenizer.HasWord("common"));
+}
+
+TEST(Tokenizer, DeterministicIds) {
+  Tokenizer a = Tokenizer::Build({"zebra apple", "mango"});
+  Tokenizer b = Tokenizer::Build({"zebra apple", "mango"});
+  EXPECT_EQ(a.WordId("zebra"), b.WordId("zebra"));
+  EXPECT_EQ(a.WordId("apple"), b.WordId("apple"));
+}
+
+TEST(Tokenizer, SerializeRoundTrip) {
+  Tokenizer tokenizer = Tokenizer::Build({"alpha beta gamma delta"});
+  std::string path = ::testing::TempDir() + "/tok_roundtrip.bin";
+  {
+    util::BinaryWriter writer(path);
+    tokenizer.Serialize(&writer);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  util::BinaryReader reader(path);
+  auto restored = Tokenizer::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->vocab_size(), tokenizer.vocab_size());
+  EXPECT_EQ(restored->WordId("gamma"), tokenizer.WordId("gamma"));
+  std::remove(path.c_str());
+}
+
+TEST(Tokenizer, DeserializeCorruptFails) {
+  std::string path = ::testing::TempDir() + "/tok_corrupt.bin";
+  {
+    util::BinaryWriter writer(path);
+    writer.WriteU64(1234567);  // absurd vocab count, then truncated
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  util::BinaryReader reader(path);
+  auto restored = Tokenizer::Deserialize(&reader);
+  EXPECT_FALSE(restored.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace infuserki::text

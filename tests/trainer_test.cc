@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "model/pretrain.h"
+#include "model/trainer.h"
+#include "tensor/ops.h"
+
+namespace infuserki::model {
+namespace {
+
+TEST(MakeExamples, InstructionLossBoundary) {
+  text::Tokenizer tokenizer = text::Tokenizer::Build({"q a b r s"});
+  LmExample example = MakeInstructionExample(tokenizer, "q a b", "r s");
+  // <bos> q a b r s <eos>
+  EXPECT_EQ(example.tokens.size(), 7u);
+  EXPECT_EQ(example.tokens.front(), text::kBosId);
+  EXPECT_EQ(example.tokens.back(), text::kEosId);
+  EXPECT_EQ(example.loss_start, 4u);  // first response token index
+}
+
+TEST(MakeExamples, PlainFullySupervised) {
+  text::Tokenizer tokenizer = text::Tokenizer::Build({"x y"});
+  LmExample example = MakePlainExample(tokenizer, "x y");
+  EXPECT_EQ(example.loss_start, 0u);
+  EXPECT_EQ(example.tokens.size(), 4u);
+}
+
+TEST(LmTrainer, MemorizesToyCorpus) {
+  // A 2-layer model must memorize two fixed sentences quickly.
+  text::Tokenizer tokenizer =
+      text::Tokenizer::Build({"the red door opens", "the blue gate closes"});
+  TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 24;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 48;
+  config.max_seq_len = 16;
+  util::Rng rng(1);
+  TransformerLM lm(config, &rng);
+  std::vector<LmExample> examples = {
+      MakePlainExample(tokenizer, "the red door opens"),
+      MakePlainExample(tokenizer, "the blue gate closes"),
+  };
+  LmTrainer::Options options;
+  options.lr = 1e-2f;
+  options.batch_size = 2;
+  LmTrainer trainer(&lm, lm.Parameters(), options);
+  float initial = lm.NextTokenLoss(examples[0].tokens).item();
+  float final_loss = trainer.TrainSteps(examples, 150);
+  EXPECT_LT(final_loss, initial * 0.2f);
+  EXPECT_LT(final_loss, 0.5f);
+}
+
+TEST(LmTrainer, OnExampleCallbackFires) {
+  text::Tokenizer tokenizer = text::Tokenizer::Build({"a b"});
+  TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 8;
+  config.num_layers = 1;
+  config.num_heads = 1;
+  config.ffn_hidden = 16;
+  util::Rng rng(2);
+  TransformerLM lm(config, &rng);
+  LmExample tagged = MakePlainExample(tokenizer, "a b");
+  tagged.tag = 7;
+  int seen_tag = -1;
+  LmTrainer::Options options;
+  options.batch_size = 1;
+  options.on_example = [&](const LmExample& example) {
+    seen_tag = example.tag;
+  };
+  LmTrainer trainer(&lm, lm.Parameters(), options);
+  trainer.Step({&tagged});
+  EXPECT_EQ(seen_tag, 7);
+}
+
+TEST(Pretrain, CacheRoundTrip) {
+  std::string cache_dir = ::testing::TempDir() + "/model_cache_test";
+  std::filesystem::remove_all(cache_dir);
+  PretrainSpec spec;
+  spec.arch.dim = 16;
+  spec.arch.num_layers = 2;
+  spec.arch.num_heads = 2;
+  spec.arch.ffn_hidden = 32;
+  spec.plain_docs = {"alpha beta gamma", "delta epsilon"};
+  spec.instruction_docs = {{"question one", "alpha"}};
+  spec.steps = 30;
+  spec.cache_dir = cache_dir;
+
+  PretrainedModel first = PretrainOrLoad(spec);
+  ASSERT_NE(first.lm, nullptr);
+  EXPECT_GT(first.final_loss, 0.0f);  // freshly trained
+
+  PretrainedModel second = PretrainOrLoad(spec);
+  ASSERT_NE(second.lm, nullptr);
+  EXPECT_EQ(second.final_loss, 0.0f);  // loaded from cache
+  // Same weights.
+  auto a = first.lm->NamedParameters();
+  auto b = second.lm->NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a[i].tensor.size(); ++j) {
+      ASSERT_EQ(a[i].tensor.data()[j], b[i].tensor.data()[j]);
+    }
+  }
+  EXPECT_EQ(first.tokenizer.vocab_size(), second.tokenizer.vocab_size());
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST(Pretrain, FingerprintSensitivity) {
+  PretrainSpec spec;
+  spec.plain_docs = {"one"};
+  uint64_t base = spec.Fingerprint();
+  PretrainSpec changed_doc = spec;
+  changed_doc.plain_docs = {"two"};
+  EXPECT_NE(base, changed_doc.Fingerprint());
+  PretrainSpec changed_steps = spec;
+  changed_steps.steps += 1;
+  EXPECT_NE(base, changed_steps.Fingerprint());
+  PretrainSpec changed_arch = spec;
+  changed_arch.arch.dim += 8;
+  EXPECT_NE(base, changed_arch.Fingerprint());
+}
+
+TEST(Pretrain, CorruptCacheIgnored) {
+  std::string cache_dir = ::testing::TempDir() + "/model_cache_corrupt";
+  std::filesystem::remove_all(cache_dir);
+  std::filesystem::create_directories(cache_dir);
+  PretrainSpec spec;
+  spec.arch.dim = 16;
+  spec.arch.num_layers = 1;
+  spec.arch.num_heads = 2;
+  spec.arch.ffn_hidden = 32;
+  spec.plain_docs = {"alpha beta"};
+  spec.steps = 10;
+  spec.cache_dir = cache_dir;
+  PretrainedModel first = PretrainOrLoad(spec);
+  // Corrupt every cache file.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cache_dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  PretrainedModel second = PretrainOrLoad(spec);  // must retrain, not crash
+  ASSERT_NE(second.lm, nullptr);
+  EXPECT_GT(second.final_loss, 0.0f);
+  std::filesystem::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace infuserki::model

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace infuserki::util {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(Split("a b c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  a   b "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(Split("").empty());
+  EXPECT_EQ(Split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(ToLower("AbC 12x"), "abc 12x");
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(Trim("  x y \n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(ReplaceAll("a[S]b[S]", "[S]", "x"), "axbx");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "xyz"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistance, Symmetry) {
+  EXPECT_EQ(EditDistance("cardio", "cardigan"),
+            EditDistance("cardigan", "cardio"));
+}
+
+TEST(FormatFloat, Basic) {
+  EXPECT_EQ(FormatFloat(0.987, 2), "0.99");
+  EXPECT_EQ(FormatFloat(1.0, 2), "1.00");
+  EXPECT_EQ(FormatFloat(-0.5, 1), "-0.5");
+}
+
+TEST(Status, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status bad = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: bad shape");
+}
+
+TEST(StatusOr, ValueAndError) {
+  StatusOr<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  StatusOr<int> error(Status::NotFound("nope"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(2);
+  std::vector<size_t> sample = rng.SampleIndices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleAll) {
+  Rng rng(3);
+  std::vector<size_t> sample = rng.SampleIndices(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(4);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Flags, Parsing) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name=test", "--on",
+                        "positional", "--count=42"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+  EXPECT_TRUE(flags.GetBool("on", false));
+  EXPECT_EQ(flags.GetInt("count", 0), 42);
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_FALSE(flags.Has("positional"));
+}
+
+}  // namespace
+}  // namespace infuserki::util
