@@ -18,6 +18,10 @@ int Run(int argc, char** argv) {
   EpochBudget budget = MakeBudget(flags);
   if (!flags.Has("infuserki_qa_epochs")) budget.infuserki_qa_epochs = 45;
 
+  ObsSession obs("bench_ablation_design", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
 

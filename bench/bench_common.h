@@ -9,6 +9,9 @@
 
 #include "core/infuserki.h"
 #include "eval/experiment.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "peft/calinet.h"
 #include "peft/full_finetune.h"
 #include "peft/lora.h"
@@ -76,6 +79,85 @@ inline EpochBudget MakeBudget(const util::Flags& flags) {
   return budget;
 }
 
+/// Per-run observability plumbing shared by the bench binaries: reads
+/// --trace_out=<path> / --metrics_out=<path>, enables span recording when
+/// either output is requested, and on destruction (or Finish()) writes the
+/// Chrome trace and the JSON run manifest.
+///
+/// Construct it before Experiment::Setup() so the setup spans are captured.
+class ObsSession {
+ public:
+  ObsSession(const std::string& bench_name, const util::Flags& flags)
+      : manifest_(bench_name),
+        trace_out_(flags.GetString("trace_out", "")),
+        metrics_out_(flags.GetString("metrics_out", "")) {
+    if (!trace_out_.empty() || !metrics_out_.empty()) {
+      obs::Tracer::Get().Enable();
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() { Finish(); }
+
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Records the shared experiment configuration into the manifest.
+  void AddExperimentConfig(const eval::ExperimentConfig& config) {
+    manifest_.AddConfig(
+        "domain", config.domain == eval::ExperimentConfig::Domain::kUmls
+                      ? "umls"
+                      : "metaqa");
+    manifest_.AddConfig("triplets",
+                        static_cast<int64_t>(config.num_triplets));
+    manifest_.AddConfig("seed", static_cast<int64_t>(config.seed));
+    manifest_.AddConfig("dim", static_cast<int64_t>(config.arch.dim));
+    manifest_.AddConfig("layers",
+                        static_cast<int64_t>(config.arch.num_layers));
+    manifest_.AddConfig("pretrain_steps",
+                        static_cast<int64_t>(config.pretrain_steps));
+    manifest_.AddConfig("eval_cap", static_cast<int64_t>(config.eval_cap));
+  }
+
+  void AddBudget(const EpochBudget& budget) {
+    manifest_.AddConfig("epochs",
+                        static_cast<int64_t>(budget.baseline_epochs));
+    manifest_.AddConfig(
+        "infuserki_qa_epochs",
+        static_cast<int64_t>(budget.infuserki_qa_epochs));
+  }
+
+  /// Writes the requested outputs once; later calls (and the destructor)
+  /// are no-ops.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!trace_out_.empty()) {
+      if (obs::Tracer::Get().WriteChromeTrace(trace_out_)) {
+        std::cout << "(wrote chrome trace " << trace_out_
+                  << " — open via chrome://tracing)\n";
+      } else {
+        std::cerr << "trace write failed: " << trace_out_ << "\n";
+      }
+    }
+    if (!metrics_out_.empty()) {
+      if (manifest_.Write(metrics_out_)) {
+        std::cout << "(wrote metrics manifest " << metrics_out_ << ")\n";
+      } else {
+        std::cerr << "metrics manifest write failed: " << metrics_out_
+                  << "\n";
+      }
+    }
+  }
+
+ private:
+  obs::RunManifest manifest_;
+  std::string trace_out_;
+  std::string metrics_out_;
+  bool finished_ = false;
+};
+
 /// Runs one method lifecycle: clone base, construct via `make`, train,
 /// evaluate. The method object is destroyed afterwards (detaching any LoRA
 /// state from the clone, which is then also dropped).
@@ -86,13 +168,17 @@ inline eval::MethodScores RunMethod(
   std::unique_ptr<model::TransformerLM> lm = experiment.CloneBaseModel();
   std::unique_ptr<core::KiMethod> method = make(lm.get());
   core::KiTrainData data = experiment.BuildTrainData();
+  // Train time is published to (and read back from) the metrics registry so
+  // the printed table and the --metrics_out manifest report the same number.
+  obs::Gauge* train_gauge = obs::Registry::Get().GetGauge(
+      "method/" + method->name() + "/train_seconds");
   util::Stopwatch watch;
   method->Train(data);
-  double train_seconds = watch.ElapsedSeconds();
+  train_gauge->Set(watch.ElapsedSeconds());
   eval::MethodScores scores =
       experiment.EvaluateMethod(method->name(), *lm, method->Forward());
   scores.trainable_params = method->NumTrainableParameters();
-  scores.train_seconds = train_seconds;
+  scores.train_seconds = train_gauge->Value();
   return scores;
 }
 

@@ -51,6 +51,10 @@ int Run(int argc, char** argv) {
   EpochBudget budget = MakeBudget(flags);
   if (!flags.Has("infuserki_qa_epochs")) budget.infuserki_qa_epochs = 50;
 
+  ObsSession obs("bench_fig1_tsne", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
   size_t layer = config.arch.num_layers * 10 / 32;  // "10th of 32" scaled

@@ -30,6 +30,10 @@ int Run(int argc, char** argv) {
   // Five full InfuserKI trainings: reduced per-run budget by default.
   if (!flags.Has("infuserki_qa_epochs")) budget.infuserki_qa_epochs = 45;
 
+  ObsSession obs("bench_fig5_adapter_position", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
 

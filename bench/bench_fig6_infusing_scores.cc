@@ -19,6 +19,10 @@ int Run(int argc, char** argv) {
   EpochBudget budget = MakeBudget(flags);
   if (!flags.Has("infuserki_qa_epochs")) budget.infuserki_qa_epochs = 55;
 
+  ObsSession obs("bench_fig6_infusing_scores", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
 

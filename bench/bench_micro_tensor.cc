@@ -1,9 +1,20 @@
 // Engineering micro-benchmarks (google-benchmark) for the tensor/autograd
 // substrate: the per-op costs that dominate experiment wall-clock.
+//
+// Accepts --metrics_out=<path> / --trace_out=<path> in addition to the
+// standard google-benchmark flags; these are stripped from argv before
+// benchmark::Initialize (which rejects flags it does not know).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "model/transformer.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -82,4 +93,51 @@ BENCHMARK(BM_LmTrainStep);
 }  // namespace
 }  // namespace infuserki::tensor
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Pulls `--<name>=<value>` out of argv (compacting it) and returns the
+/// value, or "" if the flag is absent.
+std::string TakeFlag(int* argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_out = TakeFlag(&argc, argv, "metrics_out");
+  std::string trace_out = TakeFlag(&argc, argv, "trace_out");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    infuserki::obs::Tracer::Get().Enable();
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_out.empty() &&
+      !infuserki::obs::Tracer::Get().WriteChromeTrace(trace_out)) {
+    std::fprintf(stderr, "trace write failed: %s\n", trace_out.c_str());
+    return 1;
+  }
+  if (!metrics_out.empty()) {
+    infuserki::obs::RunManifest manifest("bench_micro_tensor");
+    if (!manifest.Write(metrics_out)) {
+      std::fprintf(stderr, "metrics manifest write failed: %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

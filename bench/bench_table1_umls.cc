@@ -28,6 +28,10 @@ int Run(int argc, char** argv) {
                  /*default_triplets=*/96);
   EpochBudget budget = MakeBudget(flags);
 
+  ObsSession obs("bench_table1_umls", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
   std::vector<eval::MethodScores> rows =

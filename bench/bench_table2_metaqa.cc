@@ -25,6 +25,10 @@ int Run(int argc, char** argv) {
                  /*default_triplets=*/96);
   EpochBudget budget = MakeBudget(flags);
 
+  ObsSession obs("bench_table2_metaqa", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
   std::vector<eval::MethodScores> rows =

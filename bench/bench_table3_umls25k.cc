@@ -31,6 +31,10 @@ int Run(int argc, char** argv) {
   budget.baseline_epochs = budget.baseline_epochs / 3 * 2;
   budget.infuserki_qa_epochs = budget.infuserki_qa_epochs / 3 * 2;
 
+  ObsSession obs("bench_table3_umls25k", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
   std::vector<eval::MethodScores> rows =

@@ -27,6 +27,10 @@ int Run(int argc, char** argv) {
   // overridden.
   if (!flags.Has("infuserki_qa_epochs")) budget.infuserki_qa_epochs = 45;
 
+  ObsSession obs("bench_table4_ablation", flags);
+  obs.AddExperimentConfig(config);
+  obs.AddBudget(budget);
+
   eval::Experiment experiment(config);
   experiment.Setup();
 

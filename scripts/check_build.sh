@@ -1,0 +1,56 @@
+#!/bin/sh
+# Tier-1 verification plus an observability smoke test.
+#
+#   scripts/check_build.sh [build_dir]
+#
+# 1. Configures + builds the default (Release) tree and runs the full test
+#    suite — the same gate CI applies.
+# 2. Builds bench_micro_tensor under RelWithDebInfo and runs one benchmark
+#    with --metrics_out, asserting the run manifest is non-empty valid JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SMOKE_DIR="${BUILD_DIR}-relwithdebinfo"
+
+echo "== tier-1: configure + build + ctest (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "== obs smoke: bench_micro_tensor --metrics_out (${SMOKE_DIR}) =="
+cmake -B "$SMOKE_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$SMOKE_DIR" -j --target bench_micro_tensor
+
+METRICS_OUT="${TMPDIR:-/tmp}/check_build_metrics.json"
+rm -f "$METRICS_OUT"
+"$SMOKE_DIR/bench/bench_micro_tensor" \
+  --benchmark_filter=BM_Softmax \
+  --benchmark_min_time=0.05 \
+  --metrics_out="$METRICS_OUT"
+
+test -s "$METRICS_OUT" || {
+  echo "FAIL: $METRICS_OUT is missing or empty" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$METRICS_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    manifest = json.load(f)
+for key in ("bench", "metrics", "spans"):
+    assert key in manifest, f"manifest missing {key!r}"
+counters = manifest["metrics"]["counters"]
+assert counters.get("tensor/softmax_ops", 0) > 0, counters
+print("manifest OK:", sys.argv[1])
+EOF
+else
+  # No python3: at least check it looks like our manifest object.
+  grep -q '"bench"' "$METRICS_OUT" && grep -q '"metrics"' "$METRICS_OUT" || {
+    echo "FAIL: $METRICS_OUT does not look like a run manifest" >&2
+    exit 1
+  }
+  echo "manifest OK (grep check): $METRICS_OUT"
+fi
+
+echo "== check_build.sh: all green =="

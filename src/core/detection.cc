@@ -1,5 +1,6 @@
 #include "core/detection.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace infuserki::core {
@@ -26,6 +27,7 @@ DetectionResult DetectKnowledge(const model::TransformerLM& lm,
                                 const std::vector<kg::Mcq>& questions,
                                 AnswerMode mode,
                                 const model::ForwardOptions& options) {
+  OBS_SPAN("detection/detect_knowledge");
   DetectionResult result;
   size_t max_index = 0;
   for (const kg::Mcq& mcq : questions) {

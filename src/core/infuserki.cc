@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "model/trainer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "util/logging.h"
@@ -57,20 +58,25 @@ size_t InfuserKi::NumTrainableParameters() const {
 void InfuserKi::Train(const KiTrainData& data) {
   CHECK(data.tokenizer != nullptr);
   CHECK(data.kg != nullptr);
+  obs::ScopedSpan span("method/" + name() + "/train");
   util::Stopwatch watch;
   if (options_.infuser_pretrain && options_.adapters.use_infuser) {
     TrainInfuser(data);
   }
+  double infuser_seconds = watch.Lap();
   TrainQa(data);
+  double qa_seconds = watch.Lap();
   if (!data.unknown_statements.empty()) {
     TrainRc(data);
   }
   LOG_INFO << "InfuserKI training done in " << watch.ElapsedSeconds()
-           << "s (L_In=" << infuser_loss_ << ", L_QA=" << qa_loss_
-           << ", L_RC-phase=" << rc_loss_ << ")";
+           << "s (infuser " << infuser_seconds << "s, qa " << qa_seconds
+           << "s, rc " << watch.Lap() << "s; L_In=" << infuser_loss_
+           << ", L_QA=" << qa_loss_ << ", L_RC-phase=" << rc_loss_ << ")";
 }
 
 void InfuserKi::TrainInfuser(const KiTrainData& data) {
+  OBS_SPAN("infuserki/train_infuser");
   // Balanced mix: every known sample (label 0, "already acquired") paired
   // with an equal number of unknown samples (label 1, "new knowledge").
   struct Item {
@@ -156,6 +162,7 @@ void InfuserKi::TrainInfuser(const KiTrainData& data) {
 }
 
 void InfuserKi::TrainQa(const KiTrainData& data) {
+  OBS_SPAN("infuserki/train_qa");
   // The same modest mix of known samples every method receives (§4.1).
   // Known-replay examples are tagged: they run with the gate forced open so
   // the adapter itself learns to preserve known answers, making the method
@@ -204,6 +211,7 @@ void InfuserKi::TrainQa(const KiTrainData& data) {
 }
 
 void InfuserKi::TrainRc(const KiTrainData& data) {
+  OBS_SPAN("infuserki/train_rc");
   util::Rng rng(options_.seed + 2);
   if (options_.use_rc && rc_proj_ == nullptr) {
     rc_proj_ = std::make_unique<tensor::Linear>(

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "eval/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -25,22 +26,33 @@ std::vector<size_t> CapSample(std::vector<size_t> indices, size_t cap,
 Experiment::Experiment(const ExperimentConfig& config) : config_(config) {}
 
 void Experiment::Setup() {
-  kg::SynthOptions synth;
-  synth.num_triplets = config_.num_triplets;
-  synth.seed = config_.seed;
-  kg_ = config_.domain == ExperimentConfig::Domain::kUmls
-            ? kg::SyntheticUmls(synth)
-            : kg::SyntheticMetaQa(synth);
-  dataset_ = std::make_unique<kg::DatasetBuilder>(&kg_, &templates_);
+  OBS_SPAN("experiment/setup");
+  util::Stopwatch watch;
+  {
+    OBS_SPAN("experiment/kg_build");
+    kg::SynthOptions synth;
+    synth.num_triplets = config_.num_triplets;
+    synth.seed = config_.seed;
+    kg_ = config_.domain == ExperimentConfig::Domain::kUmls
+              ? kg::SyntheticUmls(synth)
+              : kg::SyntheticMetaQa(synth);
+    dataset_ = std::make_unique<kg::DatasetBuilder>(&kg_, &templates_);
+  }
   LOG_INFO << "experiment KG: " << kg_.num_triplets() << " triplets, "
            << kg_.num_entities() << " entities, " << kg_.num_relations()
-           << " relations";
+           << " relations (built in " << watch.Lap() << "s)";
   BuildCorpusAndPretrain();
+  double pretrain_seconds = watch.Lap();
   RunDetection();
+  double detection_seconds = watch.Lap();
   BuildEvalSets();
+  LOG_INFO << "experiment setup phases: pretrain " << pretrain_seconds
+           << "s, detection " << detection_seconds << "s, eval-set freeze "
+           << watch.Lap() << "s";
 }
 
 void Experiment::BuildCorpusAndPretrain() {
+  OBS_SPAN("experiment/pretrain");
   util::Rng rng(config_.seed + 1);
   size_t subset_size = static_cast<size_t>(
       static_cast<double>(kg_.num_triplets()) * config_.pretrain_fraction);
@@ -111,6 +123,7 @@ void Experiment::BuildCorpusAndPretrain() {
 }
 
 void Experiment::RunDetection() {
+  OBS_SPAN("experiment/detection");
   util::Rng rng(config_.seed + 4);
   kg::McqBuilder builder(&kg_, &templates_);
   std::vector<kg::Mcq> questions =
@@ -127,6 +140,7 @@ void Experiment::RunDetection() {
 }
 
 void Experiment::BuildEvalSets() {
+  OBS_SPAN("experiment/eval_freeze");
   util::Rng rng(config_.seed + 5);
   kg::McqBuilder builder(&kg_, &templates_);
 
@@ -224,6 +238,7 @@ MethodScores Experiment::EvaluateVanilla() const {
 MethodScores Experiment::EvaluateMethod(
     const std::string& name, const model::TransformerLM& lm,
     const model::ForwardOptions& forward) const {
+  obs::ScopedSpan span("method/" + name + "/eval");
   MethodScores scores;
   scores.method = name;
 

@@ -3,6 +3,8 @@
 #include <filesystem>
 
 #include "model/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/checkpoint.h"
 #include "util/logging.h"
 #include "util/serialize.h"
@@ -119,9 +121,13 @@ uint64_t PretrainSpec::Fingerprint() const {
 }
 
 PretrainedModel PretrainOrLoad(const PretrainSpec& spec) {
+  OBS_SPAN("pretrain");
   PretrainedModel model;
-  if (!spec.cache_dir.empty() && TryLoadFromCache(spec, &model)) {
-    return model;
+  {
+    OBS_SPAN("pretrain/cache_load");
+    if (!spec.cache_dir.empty() && TryLoadFromCache(spec, &model)) {
+      return model;
+    }
   }
 
   // Vocabulary covers everything the experiments will ever tokenize.
@@ -159,11 +165,20 @@ PretrainedModel PretrainOrLoad(const PretrainSpec& spec) {
   trainer_options.seed = spec.seed + 1;
   LmTrainer trainer(model.lm.get(), model.lm->Parameters(), trainer_options);
   util::Stopwatch watch;
-  model.final_loss = trainer.TrainSteps(examples, spec.steps);
-  LOG_INFO << "pretraining done in " << watch.ElapsedSeconds()
+  {
+    OBS_SPAN("pretrain/train");
+    model.final_loss = trainer.TrainSteps(examples, spec.steps);
+  }
+  double train_seconds = watch.Lap();
+  obs::Registry::Get().GetGauge("pretrain/train_seconds")->Set(train_seconds);
+  obs::Registry::Get().GetGauge("pretrain/final_loss")->Set(model.final_loss);
+  LOG_INFO << "pretraining done in " << train_seconds
            << "s, final-window loss " << model.final_loss;
 
-  if (!spec.cache_dir.empty()) SaveToCache(spec, model);
+  if (!spec.cache_dir.empty()) {
+    OBS_SPAN("pretrain/cache_save");
+    SaveToCache(spec, model);
+  }
   return model;
 }
 

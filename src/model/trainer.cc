@@ -3,10 +3,41 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace infuserki::model {
+namespace {
+
+/// Trainer metrics shared by all LmTrainer instances (pretraining and every
+/// method's fine-tuning phases).
+struct TrainerMetrics {
+  obs::Counter* steps;
+  obs::Counter* tokens;
+  obs::Counter* examples;
+  obs::Histogram* step_seconds;
+  obs::Gauge* last_loss;
+  obs::Gauge* tokens_per_sec;
+};
+
+TrainerMetrics& Metrics() {
+  static TrainerMetrics* metrics = [] {
+    obs::Registry& registry = obs::Registry::Get();
+    return new TrainerMetrics{
+        registry.GetCounter("trainer/steps"),
+        registry.GetCounter("trainer/tokens"),
+        registry.GetCounter("trainer/examples"),
+        registry.GetHistogram("trainer/step_seconds"),
+        registry.GetGauge("trainer/last_loss"),
+        registry.GetGauge("trainer/tokens_per_sec")};
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 LmExample MakeInstructionExample(const text::Tokenizer& tokenizer,
                                  const std::string& prompt,
@@ -54,6 +85,9 @@ LmTrainer::LmTrainer(const TransformerLM* lm,
 float LmTrainer::TrainSteps(const std::vector<LmExample>& examples,
                             size_t steps, const ForwardOptions& forward) {
   CHECK(!examples.empty());
+  OBS_SPAN("trainer/train_steps");
+  uint64_t tokens_before = Metrics().tokens->Value();
+  util::Stopwatch watch;
   std::vector<size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
   rng_.Shuffle(&order);
@@ -81,6 +115,12 @@ float LmTrainer::TrainSteps(const std::vector<LmExample>& examples,
     losses.push_back(Step(batch, forward));
   }
   optimizer_.set_lr(base_lr_);
+  double elapsed = watch.ElapsedSeconds();
+  if (elapsed > 0.0) {
+    Metrics().tokens_per_sec->Set(
+        static_cast<double>(Metrics().tokens->Value() - tokens_before) /
+        elapsed);
+  }
   // Report the mean over the final quarter: representative of where
   // training ended rather than where it started.
   size_t window = std::max<size_t>(1, losses.size() / 4);
@@ -94,10 +134,14 @@ float LmTrainer::TrainSteps(const std::vector<LmExample>& examples,
 float LmTrainer::Step(const std::vector<const LmExample*>& batch,
                       const ForwardOptions& forward) {
   CHECK(!batch.empty());
+  TrainerMetrics& metrics = Metrics();
+  int64_t step_begin_us = obs::NowMicros();
+  size_t batch_tokens = 0;
   float inv = 1.0f / static_cast<float>(batch.size());
   double total = 0.0;
   for (const LmExample* example : batch) {
     if (on_example_) on_example_(*example);
+    batch_tokens += example->tokens.size();
     tensor::Tensor loss =
         lm_->NextTokenLoss(example->tokens, example->loss_start, forward);
     total += loss.item();
@@ -106,7 +150,14 @@ float LmTrainer::Step(const std::vector<const LmExample*>& batch,
   tensor::ClipGradNorm(optimizer_.params(), clip_norm_);
   optimizer_.Step();
   optimizer_.ZeroGrad();
-  return static_cast<float>(total * inv);
+  float mean_loss = static_cast<float>(total * inv);
+  metrics.steps->Increment();
+  metrics.examples->Increment(batch.size());
+  metrics.tokens->Increment(batch_tokens);
+  metrics.step_seconds->Record(
+      static_cast<double>(obs::NowMicros() - step_begin_us) * 1e-6);
+  metrics.last_loss->Set(mean_loss);
+  return mean_loss;
 }
 
 }  // namespace infuserki::model

@@ -1,0 +1,57 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace infuserki::obs {
+
+RunManifest::RunManifest(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void RunManifest::AddConfig(const std::string& key,
+                            const std::string& value) {
+  config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void RunManifest::AddConfig(const std::string& key, int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+
+void RunManifest::AddConfig(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+std::string RunManifest::ToJson() const {
+  JsonWriter config;
+  for (const auto& [key, value] : config_) {
+    config.AddRaw(key, value);
+  }
+  JsonWriter spans;
+  for (const auto& [name, rollup] : Tracer::Get().Rollup()) {
+    JsonWriter span;
+    span.AddUint("count", rollup.count)
+        .AddNumber("total_seconds",
+                   static_cast<double>(rollup.total_us) * 1e-6);
+    spans.AddRaw(name, span.Finish());
+  }
+  JsonWriter out;
+  out.AddString("bench", bench_name_)
+      .AddRaw("config", config.Finish())
+      .AddRaw("metrics", Registry::Get().JsonDump())
+      .AddRaw("spans", spans.Finish())
+      .AddUint("spans_dropped", Tracer::Get().dropped());
+  return out.Finish();
+}
+
+bool RunManifest::Write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << ToJson() << "\n";
+  out.flush();
+  return out.good();
+}
+
+}  // namespace infuserki::obs

@@ -1,0 +1,38 @@
+#ifndef INFUSERKI_OBS_MANIFEST_H_
+#define INFUSERKI_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace infuserki::obs {
+
+/// JSON run manifest written by bench binaries via --metrics_out: the run
+/// configuration, a full metric-registry snapshot, and per-name span
+/// rollups. Downstream tooling turns these into BENCH_*.json trajectories.
+class RunManifest {
+ public:
+  explicit RunManifest(std::string bench_name);
+
+  /// Adds one configuration entry (shown under "config").
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, int64_t value);
+  void AddConfig(const std::string& key, double value);
+
+  /// Serializes the manifest, snapshotting the metric registry and the
+  /// tracer rollups at call time.
+  std::string ToJson() const;
+
+  /// ToJson() to `path`. Returns false on I/O failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  // key -> pre-encoded JSON value, in insertion order.
+  std::vector<std::pair<std::string, std::string>> config_;
+};
+
+}  // namespace infuserki::obs
+
+#endif  // INFUSERKI_OBS_MANIFEST_H_

@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace infuserki::obs {
+namespace {
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+size_t BucketIndex(double value) {
+  if (value <= Histogram::kFirstBound) return 0;
+  // Smallest i with value <= kFirstBound * 2^i.
+  int exponent = static_cast<int>(
+      std::ceil(std::log2(value / Histogram::kFirstBound)));
+  if (exponent < 0) return 0;
+  size_t bucket = static_cast<size_t>(exponent);
+  return bucket < Histogram::kNumBuckets ? bucket
+                                         : Histogram::kNumBuckets - 1;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (previous == 0) {
+    // First sample seeds min/max; racing recorders converge via the CAS
+    // loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats stats;
+  stats.count = count_.load(std::memory_order_relaxed);
+  stats.sum = sum_.load(std::memory_order_relaxed);
+  stats.min = min_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+  stats.mean =
+      stats.count == 0 ? 0.0 : stats.sum / static_cast<double>(stats.count);
+  return stats;
+}
+
+uint64_t Histogram::BucketCount(size_t bucket) const {
+  return bucket < kNumBuckets
+             ? buckets_[bucket].load(std::memory_order_relaxed)
+             : 0;
+}
+
+double Histogram::BucketBound(size_t bucket) {
+  if (bucket + 1 >= kNumBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return kFirstBound * std::pow(2.0, static_cast<double>(bucket));
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+namespace {
+
+// Aborts on kind collisions: the same name registered as two metric kinds
+// is a naming bug, and silently returning null would hide it.
+template <typename Map>
+void CheckNameFree(const Map& map, const std::string& name,
+                   const char* kind) {
+  if (map.find(name) != map.end()) {
+    std::fprintf(stderr,
+                 "obs: metric '%s' already registered as a %s; pick a "
+                 "distinct name per kind\n",
+                 name.c_str(), kind);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    CheckNameFree(gauges_, name, "gauge");
+    CheckNameFree(histograms_, name, "histogram");
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    CheckNameFree(counters_, name, "counter");
+    CheckNameFree(histograms_, name, "histogram");
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    CheckNameFree(counters_, name, "counter");
+    CheckNameFree(gauges_, name, "gauge");
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Registry::Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Stats();
+  }
+  return snapshot;
+}
+
+std::string Registry::TextDump() const {
+  Snapshot snapshot = TakeSnapshot();
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    os << name << " = count " << stats.count << ", sum " << stats.sum
+       << ", mean " << stats.mean << ", min " << stats.min << ", max "
+       << stats.max << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::JsonDump() const {
+  Snapshot snapshot = TakeSnapshot();
+  JsonWriter counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.AddUint(name, value);
+  }
+  JsonWriter gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.AddNumber(name, value);
+  }
+  JsonWriter histograms;
+  for (const auto& [name, stats] : snapshot.histograms) {
+    JsonWriter h;
+    h.AddUint("count", stats.count)
+        .AddNumber("sum", stats.sum)
+        .AddNumber("mean", stats.mean)
+        .AddNumber("min", stats.min)
+        .AddNumber("max", stats.max);
+    histograms.AddRaw(name, h.Finish());
+  }
+  JsonWriter out;
+  out.AddRaw("counters", counters.Finish())
+      .AddRaw("gauges", gauges.Finish())
+      .AddRaw("histograms", histograms.Finish());
+  return out.Finish();
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace infuserki::obs

@@ -1,0 +1,144 @@
+#ifndef INFUSERKI_OBS_METRICS_H_
+#define INFUSERKI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace infuserki::obs {
+
+/// Monotonically increasing event count. Increment() is a single relaxed
+/// atomic add: cheap enough for tensor-op hot paths and worker threads.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  const std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written scalar. Set() overwrites; UpdateMax() is an atomic
+/// compare-and-swap maximum (used for high-water marks such as queue depth).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void UpdateMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregated view of one histogram at a point in time.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Distribution of positive samples (latencies, sizes) over exponential
+/// base-2 buckets starting at 1e-6. All updates are relaxed atomics; a
+/// concurrent Snapshot may observe a sample's count before its sum, which
+/// is acceptable for monitoring data.
+class Histogram {
+ public:
+  /// Bucket `i` covers values in (1e-6 * 2^(i-1), 1e-6 * 2^i]; bucket 0
+  /// covers everything <= 1e-6. 44 buckets reach ~1e7 seconds.
+  static constexpr size_t kNumBuckets = 44;
+  static constexpr double kFirstBound = 1e-6;
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  HistogramStats Stats() const;
+  uint64_t BucketCount(size_t bucket) const;
+  /// Upper bound of `bucket` (inclusive); +inf for the last bucket.
+  static double BucketBound(size_t bucket);
+
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  const std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Process-wide metric registry. Lookup takes a mutex — call sites on hot
+/// paths cache the returned pointer (function-local static); the metric
+/// objects themselves live forever and their update paths are lock-free.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Registering the same name as two different kinds is a programming
+  /// error and aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Point-in-time copy of every registered metric, sorted by name.
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Human-readable one-metric-per-line dump.
+  std::string TextDump() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string JsonDump() const;
+
+  /// Zeroes every registered metric (names stay registered). Test helper.
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace infuserki::obs
+
+#endif  // INFUSERKI_OBS_METRICS_H_

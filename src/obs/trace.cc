@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace infuserki::obs {
+namespace {
+
+// Nesting depth of the calling thread's open spans.
+thread_local int32_t t_depth = 0;
+
+}  // namespace
+
+int64_t NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> ring;
+  size_t capacity = 0;
+  size_t next = 0;  // write cursor once the ring is full
+  uint32_t tid = 0;
+};
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity_per_thread) {
+  if (capacity_per_thread == 0) capacity_per_thread = 1;
+  capacity_.store(capacity_per_thread, std::memory_order_relaxed);
+  {
+    // Existing buffers adopt the new capacity (their retained events are
+    // kept up to the new bound).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->capacity = capacity_per_thread;
+      if (buffer->ring.size() > capacity_per_thread) {
+        buffer->ring.resize(capacity_per_thread);
+      }
+      if (buffer->next >= buffer->capacity) buffer->next = 0;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto created = std::make_shared<ThreadBuffer>();
+    created->capacity = capacity_.load(std::memory_order_relaxed);
+    created->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(created);
+    return created;
+  }();
+  return buffer.get();
+}
+
+void Tracer::Record(std::string name, int64_t begin_us, int64_t end_us,
+                    int32_t depth) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  SpanEvent event;
+  event.name = std::move(name);
+  event.begin_us = begin_us;
+  event.end_us = end_us;
+  event.tid = buffer->tid;
+  event.depth = depth;
+  if (buffer->ring.size() < buffer->capacity) {
+    buffer->ring.push_back(std::move(event));
+  } else {
+    buffer->ring[buffer->next] = std::move(event);
+    buffer->next = (buffer->next + 1) % buffer->capacity;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanEvent> Tracer::Events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+              // Parents open before children; ties break outermost-first.
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+std::map<std::string, SpanRollup> Tracer::Rollup() const {
+  std::map<std::string, SpanRollup> rollup;
+  for (const SpanEvent& event : Events()) {
+    SpanRollup& entry = rollup[event.name];
+    ++entry.count;
+    entry.total_us += event.end_us - event.begin_us;
+  }
+  return rollup;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"infuserki\"}}";
+  for (const SpanEvent& event : Events()) {
+    JsonWriter args;
+    args.AddInt("depth", event.depth);
+    JsonWriter entry;
+    entry.AddString("name", event.name)
+        .AddString("cat", "obs")
+        .AddString("ph", "X")
+        .AddInt("pid", 1)
+        .AddInt("tid", event.tid)
+        .AddInt("ts", event.begin_us)
+        .AddInt("dur", event.end_us - event.begin_us)
+        .AddRaw("args", args.Finish());
+    out << ",\n" << entry.Finish();
+  }
+  out << "\n]}\n";
+  out.flush();
+  return out.good();
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->next = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string name) {
+  if (!Tracer::Get().enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  depth_ = t_depth++;
+  begin_us_ = NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_depth;
+  Tracer::Get().Record(std::move(name_), begin_us_, NowMicros(), depth_);
+}
+
+}  // namespace infuserki::obs

@@ -1,0 +1,115 @@
+#ifndef INFUSERKI_OBS_TRACE_H_
+#define INFUSERKI_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace infuserki::obs {
+
+/// Microseconds since process start (steady clock). The trace timeline and
+/// chrome://tracing timestamps use this clock.
+int64_t NowMicros();
+
+/// One completed span: [begin_us, end_us] on thread `tid` at nesting depth
+/// `depth` (0 = outermost span on that thread).
+struct SpanEvent {
+  std::string name;
+  int64_t begin_us = 0;
+  int64_t end_us = 0;
+  uint32_t tid = 0;
+  int32_t depth = 0;
+};
+
+/// Aggregated view of every span sharing one name.
+struct SpanRollup {
+  uint64_t count = 0;
+  int64_t total_us = 0;
+};
+
+/// Process-wide span recorder. Each thread appends completed spans to its
+/// own fixed-capacity ring buffer (oldest events are overwritten), so the
+/// record path takes only the calling thread's uncontended buffer lock.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts recording. Spans opened while disabled are dropped entirely.
+  /// `capacity_per_thread` bounds each thread's ring buffer.
+  void Enable(size_t capacity_per_thread = 1 << 15);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span against the calling thread's ring buffer.
+  /// Usually called via ScopedSpan / OBS_SPAN, not directly.
+  void Record(std::string name, int64_t begin_us, int64_t end_us,
+              int32_t depth);
+
+  /// Every retained event across all threads, ordered by begin time.
+  std::vector<SpanEvent> Events() const;
+
+  /// Number of events evicted from full ring buffers so far.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Per-name count and total duration over the retained events.
+  std::map<std::string, SpanRollup> Rollup() const;
+
+  /// Writes the retained events as chrome://tracing "trace event" JSON
+  /// (complete "X" events). Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Drops all retained events. Thread buffers stay registered.
+  void Clear();
+
+ private:
+  struct ThreadBuffer;
+
+  Tracer() = default;
+  ThreadBuffer* LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> capacity_{1 << 15};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint32_t> next_tid_{0};
+  mutable std::mutex mu_;  // guards buffers_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: snapshots the clock on construction and records a SpanEvent
+/// on destruction. Construction is a no-op while tracing is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  explicit ScopedSpan(const char* name) : ScopedSpan(std::string(name)) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+ private:
+  std::string name_;
+  int64_t begin_us_ = 0;
+  int32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace infuserki::obs
+
+#define OBS_SPAN_CONCAT_INNER(a, b) a##b
+#define OBS_SPAN_CONCAT(a, b) OBS_SPAN_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing block, e.g.
+/// OBS_SPAN("pretrain/step"). `name` may be a const char* or std::string.
+#define OBS_SPAN(name)                                   \
+  ::infuserki::obs::ScopedSpan OBS_SPAN_CONCAT(obs_span_, \
+                                               __LINE__)(name)
+
+#endif  // INFUSERKI_OBS_TRACE_H_

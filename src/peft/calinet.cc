@@ -1,6 +1,7 @@
 #include "peft/calinet.h"
 
 #include "model/trainer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -38,6 +39,7 @@ model::ForwardOptions CalinetMethod::Forward() {
 }
 
 void CalinetMethod::Train(const core::KiTrainData& data) {
+  obs::ScopedSpan obs_train_span("method/" + name() + "/train");
   std::vector<model::LmExample> examples = core::BuildInstructionExamples(
       data, options_.include_known_mix, /*include_yesno=*/true);
   CHECK(!examples.empty());

@@ -1,6 +1,7 @@
 #include "peft/full_finetune.h"
 
 #include "model/trainer.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace infuserki::peft {
@@ -12,6 +13,7 @@ FullFinetuneMethod::FullFinetuneMethod(model::TransformerLM* lm,
 }
 
 void FullFinetuneMethod::Train(const core::KiTrainData& data) {
+  obs::ScopedSpan obs_train_span("method/" + name() + "/train");
   std::vector<model::LmExample> examples = core::BuildInstructionExamples(
       data, options_.include_known_mix, /*include_yesno=*/true);
   CHECK(!examples.empty());

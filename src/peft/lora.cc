@@ -1,6 +1,7 @@
 #include "peft/lora.h"
 
 #include "model/trainer.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace infuserki::peft {
@@ -55,6 +56,7 @@ LoraMethod::~LoraMethod() {
 }
 
 void LoraMethod::Train(const core::KiTrainData& data) {
+  obs::ScopedSpan obs_train_span("method/" + name() + "/train");
   std::vector<model::LmExample> examples = core::BuildInstructionExamples(
       data, /*include_known=*/true, /*include_yesno=*/true);
   CHECK(!examples.empty());

@@ -1,6 +1,7 @@
 #include "peft/prefix_tuning.h"
 
 #include "model/trainer.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace infuserki::peft {
@@ -29,6 +30,7 @@ model::ForwardOptions PrefixTuningMethod::Forward() {
 }
 
 void PrefixTuningMethod::Train(const core::KiTrainData& data) {
+  obs::ScopedSpan obs_train_span("method/" + name() + "/train");
   std::vector<model::LmExample> examples = core::BuildInstructionExamples(
       data, /*include_known=*/true, /*include_yesno=*/true);
   CHECK(!examples.empty());

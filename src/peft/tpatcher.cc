@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/trainer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -42,6 +43,7 @@ model::ForwardOptions TPatcherMethod::Forward() {
 }
 
 void TPatcherMethod::Train(const core::KiTrainData& data) {
+  obs::ScopedSpan obs_train_span("method/" + name() + "/train");
   size_t edits = std::max<size_t>(1, data.unknown_qa.size() / 2);
   size_t patches = std::min(options_.max_patches,
                             std::max<size_t>(8, edits *

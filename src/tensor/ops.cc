@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/threadpool.h"
 
 namespace infuserki::tensor {
@@ -12,6 +13,38 @@ namespace {
 using internal::TensorImpl;
 
 constexpr size_t kParallelGrain = 8;
+
+/// Op counters for the hot kernels, resolved once per process. Each kernel
+/// call costs two relaxed atomic adds — noise next to the O(m*k*n) work.
+struct OpMetrics {
+  obs::Counter* matmul_ops;      // forward Matmul/MatmulNT calls
+  obs::Counter* gemm_calls;      // every GEMM kernel (incl. backward)
+  obs::Counter* gemm_flops;      // 2*m*k*n per GEMM kernel call
+  obs::Counter* softmax_ops;
+  obs::Counter* softmax_rows;
+  obs::Counter* attention_ops;   // forward CausalSelfAttention calls
+  obs::Counter* attention_flops; // ~4*Tq*Tk*d per forward call
+};
+
+OpMetrics& Metrics() {
+  static OpMetrics* metrics = [] {
+    obs::Registry& registry = obs::Registry::Get();
+    return new OpMetrics{registry.GetCounter("tensor/matmul_ops"),
+                         registry.GetCounter("tensor/gemm_calls"),
+                         registry.GetCounter("tensor/gemm_flops"),
+                         registry.GetCounter("tensor/softmax_ops"),
+                         registry.GetCounter("tensor/softmax_rows"),
+                         registry.GetCounter("tensor/attention_ops"),
+                         registry.GetCounter("tensor/attention_flops")};
+  }();
+  return *metrics;
+}
+
+void CountGemm(size_t m, size_t k, size_t n) {
+  OpMetrics& metrics = Metrics();
+  metrics.gemm_calls->Increment();
+  metrics.gemm_flops->Increment(2 * m * k * n);
+}
 
 // Returns true when `b` broadcasts against `a` as a suffix shape.
 bool IsSuffixShape(const Shape& a, const Shape& b) {
@@ -37,6 +70,7 @@ BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
 // C[m,n] += A[m,k] * B[k,n]
 void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
              size_t n) {
+  CountGemm(m, k, n);
   util::ParallelFor(m, kParallelGrain, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       float* c_row = c + i * n;
@@ -54,6 +88,7 @@ void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
 // C[m,n] += A[m,k] * B[n,k]^T
 void GemmNTAcc(const float* a, const float* b, float* c, size_t m, size_t k,
                size_t n) {
+  CountGemm(m, k, n);
   util::ParallelFor(m, kParallelGrain, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const float* a_row = a + i * k;
@@ -71,6 +106,7 @@ void GemmNTAcc(const float* a, const float* b, float* c, size_t m, size_t k,
 // C[k,n] += A[m,k]^T * B[m,n]
 void GemmTNAcc(const float* a, const float* b, float* c, size_t m, size_t k,
                size_t n) {
+  CountGemm(m, k, n);
   util::ParallelFor(k, kParallelGrain, [&](size_t begin, size_t end) {
     for (size_t p = begin; p < end; ++p) {
       float* c_row = c + p * n;
@@ -228,6 +264,7 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   CHECK_EQ(a.dim(1), b.dim(0)) << "Matmul: " << ShapeToString(a.shape())
                                << " x " << ShapeToString(b.shape());
   size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Metrics().matmul_ops->Increment();
   std::vector<float> out(m * n, 0.0f);
   GemmAcc(a.data(), b.data(), out.data(), m, k, n);
   return Tensor::MakeOpResult(
@@ -251,6 +288,7 @@ Tensor MatmulNT(const Tensor& a, const Tensor& b) {
   CHECK_EQ(a.dim(1), b.dim(1)) << "MatmulNT: " << ShapeToString(a.shape())
                                << " x " << ShapeToString(b.shape()) << "^T";
   size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Metrics().matmul_ops->Increment();
   std::vector<float> out(m * n, 0.0f);
   GemmNTAcc(a.data(), b.data(), out.data(), m, k, n);
   return Tensor::MakeOpResult(
@@ -348,6 +386,8 @@ Tensor Tanh(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   CHECK_EQ(a.rank(), size_t{2});
   size_t rows = a.dim(0), cols = a.dim(1);
+  Metrics().softmax_ops->Increment();
+  Metrics().softmax_rows->Increment(rows);
   std::vector<float> out(a.size());
   const float* in = a.data();
   for (size_t r = 0; r < rows; ++r) {
@@ -773,6 +813,8 @@ Tensor CausalSelfAttention(const Tensor& q, const Tensor& k, const Tensor& v,
   CHECK_EQ(d % num_heads, size_t{0});
   size_t dh = d / num_heads;
   float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Metrics().attention_ops->Increment();
+  Metrics().attention_flops->Increment(4 * tq * tk * d);
 
   // attn holds the per-head post-softmax matrices, [H][Tq][Tk] flattened.
   auto attn = std::make_shared<std::vector<float>>(num_heads * tq * tk, 0.0f);

@@ -1,12 +1,39 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace infuserki::util {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Small sequential id per logging thread: far more readable in interleaved
+/// logs than the opaque std::thread::id hash.
+int ThreadLogId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Wall-clock "HH:MM:SS.mmm" prefix timestamp.
+std::string FormatNow() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm tm_buf;
+  localtime_r(&seconds, &tm_buf);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+  return buf;
+}
 
 // Serializes writes so multi-threaded log lines do not interleave.
 std::mutex& LogMutex() {
@@ -32,10 +59,12 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
 
 void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level));
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -44,7 +73,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << FormatNow() << " T"
+          << ThreadLogId() << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -20,8 +20,8 @@ enum class LogLevel : int {
 /// Returns the process-wide minimum severity that is actually emitted.
 LogLevel MinLogLevel();
 
-/// Sets the process-wide minimum severity. Thread-compatible: call during
-/// startup before spawning worker threads.
+/// Sets the process-wide minimum severity. Thread-safe: the level is an
+/// atomic, so it may be flipped at any time (e.g. to silence workers).
 void SetMinLogLevel(LogLevel level);
 
 /// Stream-style log message. Emits on destruction; aborts for kFatal.

@@ -8,18 +8,32 @@ namespace infuserki::util {
 /// Wall-clock stopwatch for coarse experiment timing.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
   /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
-  void Reset() { start_ = Clock::now(); }
+  /// Seconds since the last Lap() (or construction/Reset()), and starts the
+  /// next lap. Lets one stopwatch time a sequence of phases without the
+  /// subtract-the-previous-total bookkeeping.
+  double Lap() {
+    Clock::time_point now = Clock::now();
+    double seconds = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return seconds;
+  }
+
+  void Reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace infuserki::util

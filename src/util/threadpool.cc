@@ -2,9 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace infuserki::util {
+namespace {
+
+/// Process-wide pool metrics, shared by every ThreadPool instance. Resolved
+/// once; the update paths below are relaxed atomics.
+struct PoolMetrics {
+  obs::Counter* scheduled;
+  obs::Counter* completed;
+  obs::Gauge* queue_depth;
+  obs::Gauge* queue_depth_max;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* task_seconds;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = [] {
+    obs::Registry& registry = obs::Registry::Get();
+    return new PoolMetrics{
+        registry.GetCounter("threadpool/tasks_scheduled"),
+        registry.GetCounter("threadpool/tasks_completed"),
+        registry.GetGauge("threadpool/queue_depth"),
+        registry.GetGauge("threadpool/queue_depth_max"),
+        registry.GetHistogram("threadpool/queue_wait_seconds"),
+        registry.GetHistogram("threadpool/task_seconds")};
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  Metrics();  // registers the pool metrics even if no task is ever queued
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -26,11 +58,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
+  PoolMetrics& metrics = Metrics();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(fn));
+    queue_.push(Task{std::move(fn), obs::NowMicros()});
     ++in_flight_;
+    depth = queue_.size();
   }
+  metrics.scheduled->Increment();
+  metrics.queue_depth->Set(static_cast<double>(depth));
+  metrics.queue_depth_max->UpdateMax(static_cast<double>(depth));
   work_available_.notify_one();
 }
 
@@ -40,8 +78,9 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = Metrics();
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(
@@ -52,8 +91,15 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
-    task();
+    int64_t start_us = obs::NowMicros();
+    metrics.queue_wait_seconds->Record(
+        static_cast<double>(start_us - task.enqueue_us) * 1e-6);
+    task.fn();
+    metrics.task_seconds->Record(
+        static_cast<double>(obs::NowMicros() - start_us) * 1e-6);
+    metrics.completed->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -14,6 +15,9 @@ namespace infuserki::util {
 /// Fixed-size worker pool used to parallelize matmul-shaped loops.
 ///
 /// Thread-safe. Destruction joins all workers after draining the queue.
+/// Publishes obs metrics: threadpool/tasks_{scheduled,completed} counters,
+/// threadpool/queue_depth{,_max} gauges, and queue-wait / task-run-time
+/// histograms (shared across all pool instances in the process).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware concurrency.
@@ -33,12 +37,17 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;  // obs::NowMicros() at Schedule() time
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 #include "util/threadpool.h"
 
@@ -31,6 +32,44 @@ TEST(ThreadPool, WaitIsReusable) {
   pool.Schedule([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PublishesObsMetrics) {
+  obs::Registry& registry = obs::Registry::Get();
+  registry.ResetAll();
+  constexpr int kTasks = 20;
+  {
+    // An explicit 2-worker pool: on a single-core host the global pool has
+    // one worker and ParallelFor runs inline without ever scheduling.
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    ASSERT_EQ(counter.load(), kTasks);
+  }
+  EXPECT_EQ(registry.GetCounter("threadpool/tasks_scheduled")->Value(),
+            static_cast<uint64_t>(kTasks));
+  EXPECT_EQ(registry.GetCounter("threadpool/tasks_completed")->Value(),
+            static_cast<uint64_t>(kTasks));
+  EXPECT_GE(registry.GetGauge("threadpool/queue_depth_max")->Value(), 1.0);
+  obs::HistogramStats waits =
+      registry.GetHistogram("threadpool/queue_wait_seconds")->Stats();
+  EXPECT_EQ(waits.count, static_cast<uint64_t>(kTasks));
+  EXPECT_GE(waits.min, 0.0);
+  obs::HistogramStats runs =
+      registry.GetHistogram("threadpool/task_seconds")->Stats();
+  EXPECT_EQ(runs.count, static_cast<uint64_t>(kTasks));
+
+  // ResetAll returns every pool metric to zero for the next measurement.
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("threadpool/tasks_scheduled")->Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("threadpool/tasks_completed")->Value(), 0u);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("threadpool/queue_depth_max")->Value(), 0.0);
+  EXPECT_EQ(
+      registry.GetHistogram("threadpool/task_seconds")->Stats().count, 0u);
 }
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {
