@@ -12,11 +12,14 @@
 #include <string>
 #include <vector>
 
+#include "model/decode_session.h"
 #include "model/transformer.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace infuserki::tensor {
 namespace {
@@ -72,6 +75,53 @@ void BM_LmForward(benchmark::State& state) {
 }
 BENCHMARK(BM_LmForward);
 
+model::TransformerConfig BenchLmConfig() {
+  model::TransformerConfig config;
+  config.vocab_size = 1000;
+  config.dim = 64;
+  config.num_layers = 8;
+  config.num_heads = 4;
+  config.ffn_hidden = 128;
+  return config;
+}
+
+/// Pre-engine decode: one full-sequence forward per generated token.
+void BM_LmDecodeUncached(benchmark::State& state) {
+  util::Rng rng(6);
+  model::TransformerLM lm(BenchLmConfig(), &rng);
+  size_t target = static_cast<size_t>(state.range(0));
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    std::vector<int> sequence(8, 5);
+    while (sequence.size() < target) {
+      benchmark::DoNotOptimize(lm.Logits(sequence));
+      sequence.push_back(5);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target - 8));
+}
+BENCHMARK(BM_LmDecodeUncached)->Arg(32)->Arg(96);
+
+/// KV-cached decode: prefill once, then single-token incremental steps.
+void BM_LmDecodeCached(benchmark::State& state) {
+  util::Rng rng(6);
+  model::TransformerLM lm(BenchLmConfig(), &rng);
+  size_t target = static_cast<size_t>(state.range(0));
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    model::DecodeSession session(lm);
+    std::vector<int> prompt(8, 5);
+    benchmark::DoNotOptimize(session.Prefill(prompt));
+    for (size_t t = prompt.size(); t < target; ++t) {
+      benchmark::DoNotOptimize(session.Decode(5));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target - 8));
+}
+BENCHMARK(BM_LmDecodeCached)->Arg(32)->Arg(96);
+
 void BM_LmTrainStep(benchmark::State& state) {
   model::TransformerConfig config;
   config.vocab_size = 1000;
@@ -89,6 +139,77 @@ void BM_LmTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LmTrainStep);
+
+/// Head-to-head cached vs. uncached decode at max_seq_len, run outside the
+/// google-benchmark harness so the numbers land in the obs registry (and
+/// thus the --metrics_out manifest) as engine/bench_* gauges. Prints a
+/// "decode_speedup=<x>" line that scripts/check_build.sh asserts on.
+void RunDecodeCompare() {
+  model::TransformerConfig config = BenchLmConfig();
+  util::Rng rng(6);
+  model::TransformerLM lm(config, &rng);
+  NoGradGuard no_grad;
+  const size_t prompt_len = 8;
+  const size_t target = config.max_seq_len;
+  const std::vector<int> prompt(prompt_len, 5);
+  const size_t new_tokens = target - prompt_len;
+
+  // Warm both paths once (thread pool spin-up, allocator warm-up).
+  benchmark::DoNotOptimize(lm.Logits(prompt));
+  {
+    model::DecodeSession warm(lm);
+    benchmark::DoNotOptimize(warm.Prefill(prompt));
+    benchmark::DoNotOptimize(warm.Decode(5));
+  }
+
+  // Pre-engine path: one full-sequence forward per generated token.
+  double uncached_seconds;
+  {
+    std::vector<int> sequence = prompt;
+    util::Stopwatch watch;
+    while (sequence.size() < target) {
+      benchmark::DoNotOptimize(lm.Logits(sequence));
+      sequence.push_back(5);
+    }
+    uncached_seconds = watch.ElapsedSeconds();
+  }
+
+  // Engine path: prefill once, then single-token incremental steps.
+  double cached_seconds;
+  double prefill_seconds;
+  {
+    model::DecodeSession session(lm);
+    util::Stopwatch watch;
+    benchmark::DoNotOptimize(session.Prefill(prompt));
+    prefill_seconds = watch.ElapsedSeconds();
+    for (size_t t = prompt_len; t < target; ++t) {
+      benchmark::DoNotOptimize(session.Decode(5));
+    }
+    cached_seconds = watch.ElapsedSeconds();
+  }
+
+  double speedup = uncached_seconds / cached_seconds;
+  double cached_tps = static_cast<double>(new_tokens) / cached_seconds;
+  double uncached_tps = static_cast<double>(new_tokens) / uncached_seconds;
+  obs::Registry& registry = obs::Registry::Get();
+  registry.GetGauge("engine/bench_uncached_decode_seconds")
+      ->Set(uncached_seconds);
+  registry.GetGauge("engine/bench_cached_decode_seconds")
+      ->Set(cached_seconds);
+  registry.GetGauge("engine/bench_cached_prefill_seconds")
+      ->Set(prefill_seconds);
+  registry.GetGauge("engine/bench_decode_speedup")->Set(speedup);
+  registry.GetGauge("engine/bench_cached_tokens_per_second")
+      ->Set(cached_tps);
+  registry.GetGauge("engine/bench_uncached_tokens_per_second")
+      ->Set(uncached_tps);
+  std::printf(
+      "decode_compare: seq_len=%zu new_tokens=%zu uncached=%.4fs "
+      "cached=%.4fs (prefill %.4fs) uncached_tok_s=%.1f cached_tok_s=%.1f\n",
+      target, new_tokens, uncached_seconds, cached_seconds, prefill_seconds,
+      uncached_tps, cached_tps);
+  std::printf("decode_speedup=%.2f\n", speedup);
+}
 
 }  // namespace
 }  // namespace infuserki::tensor
@@ -117,6 +238,18 @@ std::string TakeFlag(int* argc, char** argv, const char* name) {
 int main(int argc, char** argv) {
   std::string metrics_out = TakeFlag(&argc, argv, "metrics_out");
   std::string trace_out = TakeFlag(&argc, argv, "trace_out");
+  // Boolean flag: --decode_compare or --decode_compare=1 runs the cached
+  // vs. uncached decode comparison after the registered benchmarks.
+  bool decode_compare = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--decode_compare") == 0) {
+      decode_compare = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  decode_compare |= TakeFlag(&argc, argv, "decode_compare") == "1";
   if (!metrics_out.empty() || !trace_out.empty()) {
     infuserki::obs::Tracer::Get().Enable();
   }
@@ -125,6 +258,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (decode_compare) infuserki::tensor::RunDecodeCompare();
 
   if (!trace_out.empty() &&
       !infuserki::obs::Tracer::Get().WriteChromeTrace(trace_out)) {

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Tier-1 verification plus an observability smoke test.
+# Tier-1 verification plus observability and inference-engine smoke tests.
 #
 #   scripts/check_build.sh [build_dir]
 #
@@ -7,6 +7,11 @@
 #    suite — the same gate CI applies.
 # 2. Builds bench_micro_tensor under RelWithDebInfo and runs one benchmark
 #    with --metrics_out, asserting the run manifest is non-empty valid JSON.
+# 3. Runs the cached-vs-uncached decode comparison (--decode_compare) and
+#    asserts the KV-cache engine delivers at least a 3x decode speedup at
+#    max_seq_len, with the numbers recorded in the manifest.
+# 4. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
+#    README.md exist, so the docs cannot drift from the tree silently.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,5 +57,47 @@ else
   }
   echo "manifest OK (grep check): $METRICS_OUT"
 fi
+
+echo "== engine smoke: cached vs uncached decode (${SMOKE_DIR}) =="
+DECODE_OUT="${TMPDIR:-/tmp}/check_build_decode.txt"
+DECODE_METRICS="${TMPDIR:-/tmp}/check_build_decode_metrics.json"
+"$SMOKE_DIR/bench/bench_micro_tensor" \
+  --benchmark_filter='^$' \
+  --decode_compare \
+  --metrics_out="$DECODE_METRICS" | tee "$DECODE_OUT"
+SPEEDUP="$(sed -n 's/^decode_speedup=//p' "$DECODE_OUT")"
+test -n "$SPEEDUP" || {
+  echo "FAIL: decode_speedup line missing from --decode_compare output" >&2
+  exit 1
+}
+awk "BEGIN { exit !($SPEEDUP >= 3.0) }" || {
+  echo "FAIL: cached decode speedup ${SPEEDUP}x is below the 3x floor" >&2
+  exit 1
+}
+grep -q '"engine/bench_decode_speedup"' "$DECODE_METRICS" || {
+  echo "FAIL: engine/bench_decode_speedup missing from $DECODE_METRICS" >&2
+  exit 1
+}
+echo "decode speedup OK: ${SPEEDUP}x (>= 3x)"
+
+echo "== docs: referenced paths exist =="
+DOCS_FAIL=0
+for doc in DESIGN.md EXPERIMENTS.md README.md; do
+  [ -f "$doc" ] || continue
+  # Check repo-relative code/script/doc paths named in backticks. Paths
+  # with shell metacharacters or flags are skipped by the grep pattern.
+  # Extension-less references name build targets (bench/<target>,
+  # examples/<target>) whose source carries .cc/.cpp.
+  for path in $(grep -o '`[A-Za-z0-9_./-]*`' "$doc" | tr -d '`' |
+                grep -E '^(src|tests|bench|scripts|examples|docs)/' |
+                sort -u); do
+    if [ ! -e "$path" ] && [ ! -e "$path.cc" ] && [ ! -e "$path.cpp" ]; then
+      echo "FAIL: $doc references missing path: $path" >&2
+      DOCS_FAIL=1
+    fi
+  done
+done
+[ "$DOCS_FAIL" -eq 0 ] || exit 1
+echo "docs link check OK"
 
 echo "== check_build.sh: all green =="

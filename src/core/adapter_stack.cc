@@ -90,8 +90,8 @@ Tensor KnowledgeAdapterStack::Delta(int layer,
     return chain_;
   }
 
-  // Eq. 4: infusing score from the mean internal state.
-  // Eq. 4: infusing score from the mean internal state.
+  // Eq. 4: infusing score from the mean internal state. Pooling over the
+  // whole sequence is what makes the gated stack SequenceStateful().
   Tensor pooled =
       tensor::Reshape(tensor::MeanAxis0(sublayer_input), {1, model_dim_});
   Tensor logit = tensor::MulScalar(

@@ -57,6 +57,12 @@ class KnowledgeAdapterStack : public model::FfnHook,
 
   // model::FfnHook / model::AttnHook:
   void BeginForward() override;
+  /// The Infuser gate pools Mean(H_P^l) over every position of the forward
+  /// (Eq. 4), so the gated stack is sequence-stateful: its full-sequence
+  /// forward is non-causal and the generation layer must use the
+  /// full-recompute path for it. Without the Infuser (w/o-Ro ablation) the
+  /// delta is row-wise and KV-cached decoding applies.
+  bool SequenceStateful() const override { return options_.use_infuser; }
   tensor::Tensor FfnDelta(int layer, const tensor::Tensor& ffn_input) override;
   tensor::Tensor AttnDelta(int layer,
                            const tensor::Tensor& attn_input) override;

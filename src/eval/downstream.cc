@@ -5,8 +5,26 @@
 #include "eval/metrics.h"
 #include "model/generation.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace infuserki::eval {
+namespace {
+
+/// Runs `fn(i)` for i in [0, n), fanning out across the global pool when
+/// the forward carries no mutable per-forward state (hooks are mutated
+/// during a forward and must serialize; the read-only prefix is safe).
+void ForEachItem(size_t n, const model::ForwardOptions& options,
+                 const std::function<void(size_t)>& fn) {
+  bool stateless = options.ffn_hook == nullptr &&
+                   options.attn_hook == nullptr && options.trace == nullptr;
+  if (stateless) {
+    util::ParallelForEach(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
 
 std::vector<ClaimItem> BuildClaimVerificationTask(
     const kg::KnowledgeGraph& kg, const kg::TemplateEngine& templates,
@@ -48,15 +66,15 @@ double EvaluateClaimTask(const model::TransformerLM& lm,
                          const std::vector<ClaimItem>& items,
                          const model::ForwardOptions& options) {
   CHECK(!items.empty());
-  std::vector<int> predictions;
-  std::vector<int> labels;
+  std::vector<int> predictions(items.size());
+  std::vector<int> labels(items.size());
   const std::vector<std::string> yes_no = {"no", "yes"};
-  for (const ClaimItem& item : items) {
+  ForEachItem(items.size(), options, [&](size_t i) {
     model::OptionScores scores =
-        model::ScoreOptions(lm, tokenizer, item.prompt, yes_no, options);
-    predictions.push_back(scores.best);
-    labels.push_back(item.label ? 1 : 0);
-  }
+        model::ScoreOptions(lm, tokenizer, items[i].prompt, yes_no, options);
+    predictions[i] = scores.best;
+    labels[i] = items[i].label ? 1 : 0;
+  });
   return BinaryMacroF1(predictions, labels);
 }
 
@@ -147,14 +165,14 @@ double Evaluate2HopTask(const model::TransformerLM& lm,
                         const std::vector<TwoHopItem>& items,
                         const model::ForwardOptions& options) {
   CHECK(!items.empty());
-  std::vector<int> predictions;
-  std::vector<int> labels;
-  for (const TwoHopItem& item : items) {
+  std::vector<int> predictions(items.size());
+  std::vector<int> labels(items.size());
+  ForEachItem(items.size(), options, [&](size_t i) {
     model::OptionScores scores = model::ScoreOptions(
-        lm, tokenizer, item.prompt, item.candidates, options);
-    predictions.push_back(scores.best);
-    labels.push_back(item.gold);
-  }
+        lm, tokenizer, items[i].prompt, items[i].candidates, options);
+    predictions[i] = scores.best;
+    labels[i] = items[i].gold;
+  });
   return Accuracy(predictions, labels);
 }
 
@@ -163,14 +181,14 @@ double Evaluate1HopTask(const model::TransformerLM& lm,
                         const std::vector<OneHopItem>& items,
                         const model::ForwardOptions& options) {
   CHECK(!items.empty());
-  std::vector<int> predictions;
-  std::vector<int> labels;
-  for (const OneHopItem& item : items) {
+  std::vector<int> predictions(items.size());
+  std::vector<int> labels(items.size());
+  ForEachItem(items.size(), options, [&](size_t i) {
     model::OptionScores scores = model::ScoreOptions(
-        lm, tokenizer, item.prompt, item.candidates, options);
-    predictions.push_back(scores.best);
-    labels.push_back(item.gold);
-  }
+        lm, tokenizer, items[i].prompt, items[i].candidates, options);
+    predictions[i] = scores.best;
+    labels[i] = items[i].gold;
+  });
   return Accuracy(predictions, labels);
 }
 

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/threadpool.h"
 
 namespace infuserki::eval {
 namespace {
@@ -242,15 +243,24 @@ MethodScores Experiment::EvaluateMethod(
   MethodScores scores;
   scores.method = name;
 
+  // Questions are independent; fan out across the pool when the forward
+  // carries no mutable per-forward state (hooks serialize — they are
+  // mutated during each forward).
+  bool stateless = forward.ffn_hook == nullptr &&
+                   forward.attn_hook == nullptr && forward.trace == nullptr;
   auto mcq_accuracy = [&](const std::vector<kg::Mcq>& set) {
     if (set.empty()) return 0.0;
-    std::vector<char> outcomes;
-    outcomes.reserve(set.size());
-    for (const kg::Mcq& mcq : set) {
+    std::vector<char> outcomes(set.size(), 0);
+    auto answer_one = [&](size_t i) {
       int chosen =
-          core::AnswerMcq(lm, base_.tokenizer, mcq,
+          core::AnswerMcq(lm, base_.tokenizer, set[i],
                           core::AnswerMode::kLikelihood, forward);
-      outcomes.push_back(chosen == mcq.correct ? 1 : 0);
+      outcomes[i] = chosen == set[i].correct ? 1 : 0;
+    };
+    if (stateless) {
+      util::ParallelForEach(set.size(), answer_one);
+    } else {
+      for (size_t i = 0; i < set.size(); ++i) answer_one(i);
     }
     return MeanRate(outcomes);
   };

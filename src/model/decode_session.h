@@ -1,0 +1,73 @@
+#ifndef INFUSERKI_MODEL_DECODE_SESSION_H_
+#define INFUSERKI_MODEL_DECODE_SESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/kv_cache.h"
+#include "model/transformer.h"
+
+namespace infuserki::model {
+
+/// Incremental inference session over one logical token sequence.
+///
+/// Prefill() runs the model once over a chunk of tokens and caches every
+/// layer's key/value rows; subsequent Prefill()/Decode() calls forward only
+/// the NEW tokens against the cache, turning per-step decode cost from
+/// O(T) full-sequence forwards into O(1) single-token forwards. The cached
+/// path is bit-identical to the full-sequence forward (see DESIGN.md §7):
+/// every sublayer is position-wise and attention re-reads the same key rows
+/// in the same order. Sequence-stateful hooks (the Infuser gate pools over
+/// every position, making the full-sequence forward non-causal) cannot be
+/// reproduced incrementally and are rejected here; the generation layer
+/// routes such forwards to the legacy full-recompute path.
+///
+/// Save()/Rewind() checkpoint the sequence boundary so a shared prompt
+/// prefix can be prefilled once and reused across many continuations (MCQ
+/// option scoring): Rewind truncates the cache back to the checkpoint.
+///
+/// Sessions are single-threaded; a stateful hook (options.ffn_hook /
+/// attn_hook) must not be shared with a concurrent session or forward.
+/// All forwards run under NoGradGuard — returned logits are plain values.
+class DecodeSession {
+ public:
+  /// `options.trace` must be null and any hook must not be
+  /// SequenceStateful() (both unsupported on the incremental path).
+  /// `options` (and any hook / prefix it points to) must outlive the
+  /// session.
+  explicit DecodeSession(const TransformerLM& lm,
+                         const ForwardOptions& options = {});
+
+  /// Extends the sequence with `tokens`; returns logits [T, V] for the new
+  /// positions (row i scores the token after position tokens_before + i).
+  tensor::Tensor Prefill(const std::vector<int>& tokens);
+
+  /// Single-token step; returns logits [1, V] for the new position.
+  tensor::Tensor Decode(int token);
+
+  /// Token positions fed so far.
+  size_t tokens() const { return cache_.tokens(); }
+
+  /// Hard sequence ceiling (the model's positional table size).
+  size_t max_tokens() const { return lm_.config().max_seq_len; }
+
+  /// Sequence-boundary checkpoint (a cached-token count).
+  struct Checkpoint {
+    size_t tokens = 0;
+  };
+
+  Checkpoint Save() const;
+
+  /// Truncates the session back to `checkpoint` (taken on this session, at
+  /// or before the current length).
+  void Rewind(const Checkpoint& checkpoint);
+
+ private:
+  const TransformerLM& lm_;
+  ForwardOptions options_;
+  KvCache cache_;
+};
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_DECODE_SESSION_H_

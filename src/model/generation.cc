@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "model/decode_session.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -11,28 +12,188 @@ namespace infuserki::model {
 using tensor::NoGradGuard;
 using tensor::Tensor;
 
-std::vector<int> GreedyDecode(const TransformerLM& lm,
-                              const std::vector<int>& prompt_ids,
-                              size_t max_new_tokens,
-                              const ForwardOptions& options) {
-  NoGradGuard no_grad;
+namespace {
+
+/// Argmax of the last row of a [T, V] logits tensor.
+int ArgmaxLastRow(const Tensor& logits) {
+  size_t last = logits.dim(0) - 1;
+  size_t vocab = logits.dim(1);
+  const float* row = logits.data() + last * vocab;
+  int best = 0;
+  for (size_t v = 1; v < vocab; ++v) {
+    if (row[v] > row[best]) best = static_cast<int>(v);
+  }
+  return best;
+}
+
+/// Temperature/top-k sample from the last row of a [T, V] logits tensor.
+int SampleLastRow(const Tensor& logits, util::Rng* rng, float temperature,
+                  size_t top_k) {
+  size_t last = logits.dim(0) - 1;
+  size_t vocab = logits.dim(1);
+  const float* row = logits.data() + last * vocab;
+  // Collect (logit, id), optionally truncated to the top-k.
+  std::vector<std::pair<float, int>> candidates;
+  candidates.reserve(vocab);
+  for (size_t v = 0; v < vocab; ++v) {
+    candidates.emplace_back(row[v], static_cast<int>(v));
+  }
+  if (top_k > 0 && top_k < vocab) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + static_cast<long>(top_k),
+                      candidates.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    candidates.resize(top_k);
+  }
+  float mx = candidates[0].first;
+  for (const auto& [logit, id] : candidates) mx = std::max(mx, logit);
+  double total = 0.0;
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const auto& [logit, id] : candidates) {
+    double w = std::exp(static_cast<double>(logit - mx) / temperature);
+    weights.push_back(w);
+    total += w;
+  }
+  double draw = rng->Uniform(0.0, total);
+  int chosen = candidates.back().second;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0) {
+      chosen = candidates[i].second;
+      break;
+    }
+  }
+  return chosen;
+}
+
+/// log P(target | row) via a numerically stable log-softmax. The arithmetic
+/// (float max scan, double exp-sum in vocab order) is kept byte-for-byte
+/// identical to the full-sequence SequenceLogProb loop so cached and
+/// uncached scores agree exactly.
+double RowLogProb(const float* row, size_t vocab, int target) {
+  float mx = row[0];
+  for (size_t v = 1; v < vocab; ++v) mx = std::max(mx, row[v]);
+  double sum = 0.0;
+  for (size_t v = 0; v < vocab; ++v) {
+    sum += std::exp(static_cast<double>(row[v]) - mx);
+  }
+  return static_cast<double>(row[target]) - mx - std::log(sum);
+}
+
+/// Sum log P(continuation | cached prompt) against a session whose cache
+/// currently ends exactly at the prompt. `prompt_logits` is the prefill
+/// result (its last row scores the first continuation token); the remaining
+/// continuation tokens are fed incrementally. Leaves the session extended —
+/// callers rewind.
+double ContinuationLogProb(DecodeSession* session,
+                           const Tensor& prompt_logits,
+                           const std::vector<int>& continuation) {
+  size_t vocab = prompt_logits.dim(1);
+  const float* last_row =
+      prompt_logits.data() + (prompt_logits.dim(0) - 1) * vocab;
+  double total = RowLogProb(last_row, vocab, continuation[0]);
+  if (continuation.size() > 1) {
+    std::vector<int> inputs(continuation.begin(), continuation.end() - 1);
+    Tensor logits = session->Prefill(inputs);
+    for (size_t i = 0; i + 1 < continuation.size(); ++i) {
+      total += RowLogProb(logits.data() + i * vocab, vocab,
+                          continuation[i + 1]);
+    }
+  }
+  return total;
+}
+
+/// Full-recompute decode loop for sequence-stateful hooks (the Infuser
+/// gate pools over every position, so its forward is non-causal and cannot
+/// be served from a KV cache — see DESIGN.md §7). Re-runs the model over
+/// the whole sequence each step, exactly like the pre-engine code.
+/// `pick` maps the step's logits to the next token id.
+template <typename PickFn>
+std::vector<int> DecodeFullRecompute(const TransformerLM& lm,
+                                     const std::vector<int>& prompt_ids,
+                                     size_t max_new_tokens,
+                                     const ForwardOptions& options,
+                                     PickFn&& pick) {
   std::vector<int> sequence = prompt_ids;
   std::vector<int> generated;
   for (size_t step = 0; step < max_new_tokens; ++step) {
     if (sequence.size() >= lm.config().max_seq_len) break;
     Tensor logits = lm.Logits(sequence, options);
-    size_t last = logits.dim(0) - 1;
-    size_t vocab = logits.dim(1);
-    const float* row = logits.data() + last * vocab;
-    int best = 0;
-    for (size_t v = 1; v < vocab; ++v) {
-      if (row[v] > row[best]) best = static_cast<int>(v);
-    }
-    if (best == text::kEosId) break;
-    generated.push_back(best);
-    sequence.push_back(best);
+    int next = pick(logits);
+    if (next == text::kEosId) break;
+    generated.push_back(next);
+    sequence.push_back(next);
   }
   return generated;
+}
+
+/// Incremental decode loop: prefill the prompt once, then one single-token
+/// forward per generated token. Token-stream-identical to
+/// DecodeFullRecompute for any causal forward (verified bit-exactly in
+/// tests/kv_cache_test.cc).
+template <typename PickFn>
+std::vector<int> DecodeIncremental(const TransformerLM& lm,
+                                   const std::vector<int>& prompt_ids,
+                                   size_t max_new_tokens,
+                                   const ForwardOptions& options,
+                                   PickFn&& pick) {
+  std::vector<int> generated;
+  if (max_new_tokens == 0 ||
+      prompt_ids.size() >= lm.config().max_seq_len) {
+    return generated;
+  }
+  DecodeSession session(lm, options);
+  Tensor logits = session.Prefill(prompt_ids);
+  while (true) {
+    int next = pick(logits);
+    if (next == text::kEosId) break;
+    generated.push_back(next);
+    if (generated.size() >= max_new_tokens) break;
+    if (prompt_ids.size() + generated.size() >= lm.config().max_seq_len) {
+      break;
+    }
+    logits = session.Decode(next);
+  }
+  return generated;
+}
+
+/// Full-sequence scoring fallback for sequence-stateful hooks.
+double SequenceLogProbFullRecompute(const TransformerLM& lm,
+                                    const std::vector<int>& prompt_ids,
+                                    const std::vector<int>& continuation_ids,
+                                    const ForwardOptions& options) {
+  std::vector<int> full = prompt_ids;
+  full.insert(full.end(), continuation_ids.begin(), continuation_ids.end());
+  // Drop the final token from the input: its next-token prediction is not
+  // needed, and positions prompt_len-1 .. end-2 predict the continuation.
+  std::vector<int> inputs(full.begin(), full.end() - 1);
+  Tensor logits = lm.Logits(inputs, options);
+  size_t vocab = logits.dim(1);
+  double total = 0.0;
+  for (size_t i = 0; i < continuation_ids.size(); ++i) {
+    size_t position = prompt_ids.size() - 1 + i;
+    total += RowLogProb(logits.data() + position * vocab, vocab,
+                        continuation_ids[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<int> GreedyDecode(const TransformerLM& lm,
+                              const std::vector<int>& prompt_ids,
+                              size_t max_new_tokens,
+                              const ForwardOptions& options) {
+  NoGradGuard no_grad;
+  auto pick = [](const Tensor& logits) { return ArgmaxLastRow(logits); };
+  if (HasSequenceStatefulHook(options)) {
+    return DecodeFullRecompute(lm, prompt_ids, max_new_tokens, options,
+                               pick);
+  }
+  return DecodeIncremental(lm, prompt_ids, max_new_tokens, options, pick);
 }
 
 std::vector<int> SampleDecode(const TransformerLM& lm,
@@ -45,53 +206,14 @@ std::vector<int> SampleDecode(const TransformerLM& lm,
     return GreedyDecode(lm, prompt_ids, max_new_tokens, options);
   }
   NoGradGuard no_grad;
-  std::vector<int> sequence = prompt_ids;
-  std::vector<int> generated;
-  for (size_t step = 0; step < max_new_tokens; ++step) {
-    if (sequence.size() >= lm.config().max_seq_len) break;
-    Tensor logits = lm.Logits(sequence, options);
-    size_t last = logits.dim(0) - 1;
-    size_t vocab = logits.dim(1);
-    const float* row = logits.data() + last * vocab;
-    // Collect (logit, id), optionally truncated to the top-k.
-    std::vector<std::pair<float, int>> candidates;
-    candidates.reserve(vocab);
-    for (size_t v = 0; v < vocab; ++v) {
-      candidates.emplace_back(row[v], static_cast<int>(v));
-    }
-    if (top_k > 0 && top_k < vocab) {
-      std::partial_sort(candidates.begin(),
-                        candidates.begin() + static_cast<long>(top_k),
-                        candidates.end(),
-                        [](const auto& a, const auto& b) {
-                          return a.first > b.first;
-                        });
-      candidates.resize(top_k);
-    }
-    float mx = candidates[0].first;
-    for (const auto& [logit, id] : candidates) mx = std::max(mx, logit);
-    double total = 0.0;
-    std::vector<double> weights;
-    weights.reserve(candidates.size());
-    for (const auto& [logit, id] : candidates) {
-      double w = std::exp(static_cast<double>(logit - mx) / temperature);
-      weights.push_back(w);
-      total += w;
-    }
-    double draw = rng->Uniform(0.0, total);
-    int chosen = candidates.back().second;
-    for (size_t i = 0; i < weights.size(); ++i) {
-      draw -= weights[i];
-      if (draw <= 0.0) {
-        chosen = candidates[i].second;
-        break;
-      }
-    }
-    if (chosen == text::kEosId) break;
-    generated.push_back(chosen);
-    sequence.push_back(chosen);
+  auto pick = [&](const Tensor& logits) {
+    return SampleLastRow(logits, rng, temperature, top_k);
+  };
+  if (HasSequenceStatefulHook(options)) {
+    return DecodeFullRecompute(lm, prompt_ids, max_new_tokens, options,
+                               pick);
   }
-  return generated;
+  return DecodeIncremental(lm, prompt_ids, max_new_tokens, options, pick);
 }
 
 double SequenceLogProb(const TransformerLM& lm,
@@ -100,30 +222,17 @@ double SequenceLogProb(const TransformerLM& lm,
                        const ForwardOptions& options) {
   CHECK(!prompt_ids.empty());
   CHECK(!continuation_ids.empty());
-  NoGradGuard no_grad;
-  std::vector<int> full = prompt_ids;
-  full.insert(full.end(), continuation_ids.begin(), continuation_ids.end());
-  CHECK_LE(full.size(), lm.config().max_seq_len)
+  CHECK_LE(prompt_ids.size() + continuation_ids.size(),
+           lm.config().max_seq_len)
       << "scored sequence exceeds max_seq_len";
-  // Drop the final token from the input: its next-token prediction is not
-  // needed, and positions prompt_len-1 .. end-2 predict the continuation.
-  std::vector<int> inputs(full.begin(), full.end() - 1);
-  Tensor logits = lm.Logits(inputs, options);
-  size_t vocab = logits.dim(1);
-  double total = 0.0;
-  for (size_t i = 0; i < continuation_ids.size(); ++i) {
-    size_t position = prompt_ids.size() - 1 + i;
-    const float* row = logits.data() + position * vocab;
-    float mx = row[0];
-    for (size_t v = 1; v < vocab; ++v) mx = std::max(mx, row[v]);
-    double sum = 0.0;
-    for (size_t v = 0; v < vocab; ++v) {
-      sum += std::exp(static_cast<double>(row[v]) - mx);
-    }
-    int target = continuation_ids[i];
-    total += static_cast<double>(row[target]) - mx - std::log(sum);
+  NoGradGuard no_grad;
+  if (HasSequenceStatefulHook(options)) {
+    return SequenceLogProbFullRecompute(lm, prompt_ids, continuation_ids,
+                                        options);
   }
-  return total;
+  DecodeSession session(lm, options);
+  Tensor prompt_logits = session.Prefill(prompt_ids);
+  return ContinuationLogProb(&session, prompt_logits, continuation_ids);
 }
 
 OptionScores ScoreOptions(const TransformerLM& lm,
@@ -133,16 +242,37 @@ OptionScores ScoreOptions(const TransformerLM& lm,
                           const ForwardOptions& options) {
   CHECK(!options_text.empty());
   std::vector<int> prompt_ids = tokenizer.EncodeWithSpecials(prompt, false);
+  NoGradGuard no_grad;
+  bool incremental = !HasSequenceStatefulHook(options);
   OptionScores scores;
   scores.log_probs.reserve(options_text.size());
   std::vector<double> normalized;
   normalized.reserve(options_text.size());
-  for (const std::string& option : options_text) {
-    std::vector<int> continuation = tokenizer.Encode(option);
-    CHECK(!continuation.empty()) << "empty option text";
-    double lp = SequenceLogProb(lm, prompt_ids, continuation, options);
-    scores.log_probs.push_back(lp);
-    normalized.push_back(lp / static_cast<double>(continuation.size()));
+  if (incremental) {
+    // Prefill the shared prompt once; every option reuses the cached
+    // prefix and only its own continuation tokens are forwarded.
+    DecodeSession session(lm, options);
+    Tensor prompt_logits = session.Prefill(prompt_ids);
+    DecodeSession::Checkpoint prompt_mark = session.Save();
+    for (const std::string& option : options_text) {
+      std::vector<int> continuation = tokenizer.Encode(option);
+      CHECK(!continuation.empty()) << "empty option text";
+      CHECK_LE(prompt_ids.size() + continuation.size(),
+               lm.config().max_seq_len)
+          << "scored sequence exceeds max_seq_len";
+      double lp = ContinuationLogProb(&session, prompt_logits, continuation);
+      session.Rewind(prompt_mark);
+      scores.log_probs.push_back(lp);
+      normalized.push_back(lp / static_cast<double>(continuation.size()));
+    }
+  } else {
+    for (const std::string& option : options_text) {
+      std::vector<int> continuation = tokenizer.Encode(option);
+      CHECK(!continuation.empty()) << "empty option text";
+      double lp = SequenceLogProb(lm, prompt_ids, continuation, options);
+      scores.log_probs.push_back(lp);
+      normalized.push_back(lp / static_cast<double>(continuation.size()));
+    }
   }
   scores.best = static_cast<int>(
       std::max_element(normalized.begin(), normalized.end()) -
@@ -166,7 +296,9 @@ int ExtractChosenOption(const TransformerLM& lm,
                         const ForwardOptions& options) {
   std::vector<int> prompt_ids = tokenizer.EncodeWithSpecials(prompt, false);
   std::vector<int> generated = GreedyDecode(lm, prompt_ids, 12, options);
-  std::string response = tokenizer.Decode(generated);
+  // Case-normalize the response once so the option-text fallback below
+  // compares lowercase needles against a lowercase haystack.
+  const std::string response = util::ToLower(tokenizer.Decode(generated));
   // Letter form: "( a )" etc.
   for (size_t i = 0; i < options_text.size(); ++i) {
     std::string letter =

@@ -1,6 +1,8 @@
 #ifndef INFUSERKI_MODEL_HOOKS_H_
 #define INFUSERKI_MODEL_HOOKS_H_
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -15,6 +17,20 @@ namespace infuserki::model {
 /// (Eqs. 3/6). Returning an undefined Tensor means "no contribution at
 /// this layer". InfuserKI's gated knowledge adapters, CALINET's calibration
 /// adapter and T-Patcher's patch neurons are all implemented as FfnHooks.
+///
+/// Incremental decode protocol: on the KV-cached path (DecodeSession) the
+/// model calls BeginExtend(rows_so_far) instead of BeginForward() and then
+/// feeds only the NEW rows to FfnDelta. A hook whose delta for row t
+/// depends only on row t of the current forward (position-wise — CALINET,
+/// T-Patcher, and the adapter chain without the Infuser gate) needs no
+/// overrides: the default BeginExtend treats each chunk as a fresh forward,
+/// which is bit-identical to the full-sequence pass for such hooks. A hook
+/// whose delta pools over the WHOLE sequence must override
+/// SequenceStateful() to return true: its full-sequence forward is
+/// non-causal (every row's delta sees later rows through the pooled gate),
+/// so no incremental pass can reproduce it bit-exactly, and the generation
+/// layer routes such forwards to the legacy full-recompute path instead of
+/// a session (see DESIGN.md §7).
 class FfnHook {
  public:
   virtual ~FfnHook() = default;
@@ -23,6 +39,19 @@ class FfnHook {
   /// (e.g. InfuserKI's cross-layer adapter chain) reset here.
   virtual void BeginForward() {}
 
+  /// Incremental-decode variant of BeginForward(): the next FfnDelta calls
+  /// extend a sequence of which `rows_so_far` rows were already fed (0 on
+  /// the session's first chunk).
+  virtual void BeginExtend(size_t rows_so_far) {
+    (void)rows_so_far;
+    BeginForward();
+  }
+
+  /// True when the hook's delta for a row depends on other rows of the
+  /// sequence (e.g. the Infuser gate's Mean(H_P^l) pooling). Such hooks are
+  /// incompatible with KV-cached incremental decoding.
+  virtual bool SequenceStateful() const { return false; }
+
   /// `layer` is 0-based. `ffn_input` is H_P^l with shape [T, D].
   virtual tensor::Tensor FfnDelta(int layer,
                                   const tensor::Tensor& ffn_input) = 0;
@@ -30,11 +59,19 @@ class FfnHook {
 
 /// Extension point parallel to the attention sublayer (used by the
 /// adapter-position ablation of Fig. 5, "3-32nd attention layers").
+/// Follows the same incremental decode protocol as FfnHook.
 class AttnHook {
  public:
   virtual ~AttnHook() = default;
 
   virtual void BeginForward() {}
+
+  virtual void BeginExtend(size_t rows_so_far) {
+    (void)rows_so_far;
+    BeginForward();
+  }
+
+  virtual bool SequenceStateful() const { return false; }
 
   /// `attn_input` is the normalized attention sublayer input, [T, D]; the
   /// returned delta is added to the attention sublayer output.
@@ -67,6 +104,16 @@ struct ForwardOptions {
   const PrefixKv* prefix = nullptr;
   ForwardTrace* trace = nullptr;
 };
+
+/// True when `options` carries a hook whose delta pools over the whole
+/// sequence; forwards with such hooks must take the full-recompute path
+/// instead of a DecodeSession.
+inline bool HasSequenceStatefulHook(const ForwardOptions& options) {
+  return (options.ffn_hook != nullptr &&
+          options.ffn_hook->SequenceStateful()) ||
+         (options.attn_hook != nullptr &&
+          options.attn_hook->SequenceStateful());
+}
 
 }  // namespace infuserki::model
 

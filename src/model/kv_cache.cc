@@ -1,0 +1,43 @@
+#include "model/kv_cache.h"
+
+#include "util/logging.h"
+
+namespace infuserki::model {
+
+void KvCache::SeedPrefix(const PrefixKv* prefix) {
+  CHECK(!seeded_);
+  CHECK_EQ(tokens_, size_t{0});
+  seeded_ = true;
+  if (prefix == nullptr || prefix->prefix_len == 0) return;
+  CHECK_EQ(prefix->keys.size(), layers_.size());
+  CHECK_EQ(prefix->values.size(), layers_.size());
+  prefix_rows_ = prefix->prefix_len;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].k = prefix->keys[l].Detach();
+    layers_[l].v = prefix->values[l].Detach();
+  }
+}
+
+void KvCache::TruncateTokens(size_t num_tokens) {
+  CHECK_LE(num_tokens, tokens_);
+  if (num_tokens == tokens_) return;
+  size_t keep_rows = prefix_rows_ + num_tokens;
+  for (LayerKv& layer : layers_) {
+    if (!layer.k.defined()) continue;
+    if (keep_rows == 0) {
+      layer.k = tensor::Tensor();
+      layer.v = tensor::Tensor();
+      continue;
+    }
+    size_t cols = layer.k.dim(1);
+    std::vector<float> k_data(layer.k.data(),
+                              layer.k.data() + keep_rows * cols);
+    std::vector<float> v_data(layer.v.data(),
+                              layer.v.data() + keep_rows * cols);
+    layer.k = tensor::Tensor::FromData({keep_rows, cols}, std::move(k_data));
+    layer.v = tensor::Tensor::FromData({keep_rows, cols}, std::move(v_data));
+  }
+  tokens_ = num_tokens;
+}
+
+}  // namespace infuserki::model

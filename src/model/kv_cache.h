@@ -1,0 +1,66 @@
+#ifndef INFUSERKI_MODEL_KV_CACHE_H_
+#define INFUSERKI_MODEL_KV_CACHE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/hooks.h"
+#include "tensor/tensor.h"
+
+namespace infuserki::model {
+
+/// Key/value rows accumulated for one transformer layer. `k` and `v` are
+/// [rows, D] (undefined while empty); rows = prefix-tuning rows (if any)
+/// followed by one row per cached token position, in position order.
+struct LayerKv {
+  tensor::Tensor k;
+  tensor::Tensor v;
+
+  size_t rows() const { return k.defined() ? k.dim(0) : 0; }
+};
+
+/// Per-layer attention key/value cache for incremental decoding.
+///
+/// Grown by TransformerLM::LogitsIncremental (each chunked forward appends
+/// its new K/V rows) and truncated by DecodeSession::Rewind (prefix reuse).
+/// Rows are plain detached values: the cache is only ever filled under
+/// NoGradGuard.
+class KvCache {
+ public:
+  explicit KvCache(size_t num_layers) : layers_(num_layers) {}
+
+  size_t num_layers() const { return layers_.size(); }
+
+  /// Token positions cached so far (excludes prefix-tuning rows).
+  size_t tokens() const { return tokens_; }
+
+  /// Prefix-tuning rows per layer (0 without prefix tuning).
+  size_t prefix_rows() const { return prefix_rows_; }
+
+  LayerKv* layer(size_t i) { return &layers_[i]; }
+
+  bool seeded() const { return seeded_; }
+
+  /// One-time seeding with prefix-tuning K/V rows (nullptr when the forward
+  /// has no prefix). Must run before the first incremental forward so the
+  /// prefix rows occupy the head of every layer's cache.
+  void SeedPrefix(const PrefixKv* prefix);
+
+  /// Bumps the cached-token count after a chunked forward appended `count`
+  /// rows to every layer.
+  void AdvanceTokens(size_t count) { tokens_ += count; }
+
+  /// Drops cached rows beyond `num_tokens` token positions (prefix-tuning
+  /// rows are always kept). Requires num_tokens <= tokens().
+  void TruncateTokens(size_t num_tokens);
+
+ private:
+  std::vector<LayerKv> layers_;
+  size_t prefix_rows_ = 0;
+  size_t tokens_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_KV_CACHE_H_

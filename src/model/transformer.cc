@@ -33,14 +33,28 @@ TransformerLayer::TransformerLayer(const TransformerConfig& config,
 }
 
 Tensor TransformerLayer::Forward(const Tensor& x, int layer_index,
-                                 const ForwardOptions& options) const {
+                                 const ForwardOptions& options,
+                                 LayerKv* kv) const {
   // Attention sublayer.
   Tensor attn_in = tensor::RmsNorm(x, norm1_weight_);
   Tensor q = wq_.Forward(attn_in);
   Tensor k = wk_.Forward(attn_in);
   Tensor v = wv_.Forward(attn_in);
   size_t prefix_len = 0;
-  if (options.prefix != nullptr && options.prefix->prefix_len > 0) {
+  if (kv != nullptr) {
+    // KV-cached path. The cache already holds prefix-tuning rows (seeded by
+    // KvCache::SeedPrefix) plus one row per previously fed position; all of
+    // them are visible to every new query, and the new rows are causal
+    // among themselves — exactly the full-sequence mask restricted to the
+    // new rows.
+    if (kv->k.defined()) {
+      prefix_len = kv->k.dim(0);
+      k = tensor::ConcatRows(kv->k, k);
+      v = tensor::ConcatRows(kv->v, v);
+    }
+    kv->k = k;
+    kv->v = v;
+  } else if (options.prefix != nullptr && options.prefix->prefix_len > 0) {
     const PrefixKv& prefix = *options.prefix;
     CHECK_LT(static_cast<size_t>(layer_index), prefix.keys.size());
     k = tensor::ConcatRows(prefix.keys[static_cast<size_t>(layer_index)], k);
@@ -118,6 +132,43 @@ Tensor TransformerLM::Logits(const std::vector<int>& tokens,
                              const ForwardOptions& options) const {
   Tensor h = Hidden(tokens, options);
   // Tied output head.
+  return tensor::MatmulNT(h, token_emb_.table());
+}
+
+Tensor TransformerLM::HiddenIncremental(const std::vector<int>& tokens,
+                                        KvCache* cache,
+                                        const ForwardOptions& options) const {
+  CHECK(cache != nullptr);
+  CHECK(!tokens.empty());
+  CHECK(!tensor::GradEnabled())
+      << "the incremental path is inference-only (run under NoGradGuard)";
+  CHECK(options.trace == nullptr)
+      << "trace recording is not supported on the incremental path";
+  CHECK(!HasSequenceStatefulHook(options))
+      << "sequence-stateful hooks cannot take the incremental path";
+  CHECK_EQ(cache->num_layers(), layers_.size());
+  size_t start = cache->tokens();
+  CHECK_LE(start + tokens.size(), config_.max_seq_len)
+      << "sequence exceeds max_seq_len";
+  if (!cache->seeded()) cache->SeedPrefix(options.prefix);
+  if (options.ffn_hook != nullptr) options.ffn_hook->BeginExtend(start);
+  if (options.attn_hook != nullptr) options.attn_hook->BeginExtend(start);
+  std::vector<int> positions(tokens.size());
+  std::iota(positions.begin(), positions.end(), static_cast<int>(start));
+  Tensor x = tensor::Add(token_emb_.Forward(tokens),
+                         pos_emb_.Forward(positions));
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    x = layers_[l]->Forward(x, static_cast<int>(l), options,
+                            cache->layer(l));
+  }
+  cache->AdvanceTokens(tokens.size());
+  return tensor::RmsNorm(x, final_norm_weight_);
+}
+
+Tensor TransformerLM::LogitsIncremental(const std::vector<int>& tokens,
+                                        KvCache* cache,
+                                        const ForwardOptions& options) const {
+  Tensor h = HiddenIncremental(tokens, cache, options);
   return tensor::MatmulNT(h, token_emb_.table());
 }
 

@@ -6,6 +6,7 @@
 
 #include "model/config.h"
 #include "model/hooks.h"
+#include "model/kv_cache.h"
 #include "tensor/nn.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -20,8 +21,17 @@ class TransformerLayer : public tensor::Module {
   TransformerLayer(const TransformerConfig& config, util::Rng* rng);
 
   /// Residual-stream update for layer `layer_index`.
+  ///
+  /// With `kv == nullptr` this is the full-sequence forward (prefix-tuning
+  /// rows, if any, are concatenated from `options.prefix`). With a cache
+  /// layer, `x` holds only the NEW positions: the cached K/V rows (which
+  /// already include any prefix-tuning rows) are prepended, the new rows
+  /// are appended to the cache, and attention runs with the cached rows as
+  /// an always-visible prefix — row-for-row bit-identical to the
+  /// full-sequence pass.
   tensor::Tensor Forward(const tensor::Tensor& x, int layer_index,
-                         const ForwardOptions& options) const;
+                         const ForwardOptions& options,
+                         LayerKv* kv = nullptr) const;
 
   tensor::Linear& wq() { return wq_; }
   tensor::Linear& wk() { return wk_; }
@@ -58,6 +68,21 @@ class TransformerLM : public tensor::Module {
   /// Token logits -> [T, V] (tied output head: h @ E^T).
   tensor::Tensor Logits(const std::vector<int>& tokens,
                         const ForwardOptions& options = {}) const;
+
+  /// Incremental (KV-cached) forward: runs `tokens` at positions
+  /// cache->tokens() .. cache->tokens() + T - 1 against the cached
+  /// key/value rows, appending the new rows to `cache`. Returns final-norm
+  /// hidden states for the NEW positions only, [T, D]. Inference-only (the
+  /// cache stores detached values); call under NoGradGuard — DecodeSession
+  /// wraps this. `options.trace` is not supported on this path.
+  tensor::Tensor HiddenIncremental(const std::vector<int>& tokens,
+                                   KvCache* cache,
+                                   const ForwardOptions& options = {}) const;
+
+  /// HiddenIncremental through the tied output head -> [T, V].
+  tensor::Tensor LogitsIncremental(const std::vector<int>& tokens,
+                                   KvCache* cache,
+                                   const ForwardOptions& options = {}) const;
 
   /// Mean next-token cross entropy over positions >= loss_start (0 = whole
   /// sequence). Position t predicts tokens[t + 1]; with loss_start = p only

@@ -33,6 +33,12 @@ PoolMetrics& Metrics() {
   return *metrics;
 }
 
+/// Set for the lifetime of each global-pool worker thread; lets nested
+/// parallel loops detect they are already on a worker and run inline
+/// rather than scheduling-and-waiting (which would deadlock once every
+/// worker blocks in a wait).
+thread_local bool t_on_global_pool_worker = false;
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -78,6 +84,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_global_pool_worker = true;
   PoolMetrics& metrics = Metrics();
   for (;;) {
     Task task;
@@ -113,12 +120,14 @@ ThreadPool& GlobalThreadPool() {
   return *pool;
 }
 
+bool OnGlobalPoolWorker() { return t_on_global_pool_worker; }
+
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   ThreadPool& pool = GlobalThreadPool();
   size_t num_workers = pool.num_threads();
-  if (n <= grain || num_workers <= 1) {
+  if (n <= grain || num_workers <= 1 || t_on_global_pool_worker) {
     fn(0, n);
     return;
   }
@@ -129,6 +138,33 @@ void ParallelFor(size_t n, size_t grain,
     pool.Schedule([begin, end, &fn] { fn(begin, end); });
   }
   pool.Wait();
+}
+
+void ParallelForEach(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  ThreadPool& pool = GlobalThreadPool();
+  if (n == 1 || pool.num_threads() <= 1 || t_on_global_pool_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Private completion group: waits only for the tasks scheduled here, so
+  // concurrent callers (and the pool's global Wait) do not interfere.
+  struct Group {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  };
+  auto group = std::make_shared<Group>();
+  group->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    pool.Schedule([i, group, &fn] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (--group->remaining == 0) group->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->done.wait(lock, [&] { return group->remaining == 0; });
 }
 
 }  // namespace infuserki::util

@@ -57,10 +57,25 @@ class ThreadPool {
 /// per the static-storage-duration rules).
 ThreadPool& GlobalThreadPool();
 
+/// True when the calling thread is one of the global pool's workers. Used
+/// to run nested parallel loops inline instead of deadlocking on the pool's
+/// global quiescence wait.
+bool OnGlobalPoolWorker();
+
 /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
-/// global pool. Runs inline when `n` is small or only one thread exists.
+/// global pool. Runs inline when `n` is small, only one thread exists, or
+/// the caller is itself a pool worker (nested parallelism).
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& fn);
+
+/// Runs `fn(i)` for every i in [0, n) on the global pool, one task per
+/// index, and blocks until all of THESE tasks finish (a private completion
+/// group — unlike ThreadPool::Wait it does not wait for unrelated tasks
+/// and is safe to call concurrently from several threads). Intended for
+/// coarse-grained fan-out (e.g. one MCQ evaluation per task) whose bodies
+/// may themselves call ParallelFor; those nested loops run inline on the
+/// worker. Runs inline when parallelism is unavailable.
+void ParallelForEach(size_t n, const std::function<void(size_t)>& fn);
 
 }  // namespace infuserki::util
 

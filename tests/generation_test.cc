@@ -57,6 +57,15 @@ TEST_F(TrainedLmFixture, ExtractChosenOptionByText) {
   EXPECT_EQ(chosen, 1);
 }
 
+TEST_F(TrainedLmFixture, ExtractChosenOptionIsCaseInsensitive) {
+  // Option texts arrive in KG surface casing while decoded responses are
+  // all lowercase; containment must compare case-normalized on both sides.
+  int chosen = ExtractChosenOption(
+      *base_->lm, base_->tokenizer, "question : color of sky ? answer :",
+      {"Green Moss", "Blue Ink", "Red Dust"});
+  EXPECT_EQ(chosen, 1);
+}
+
 TEST_F(TrainedLmFixture, ExtractReturnsMinusOneWhenNothingMatches) {
   int chosen = ExtractChosenOption(
       *base_->lm, base_->tokenizer, "question : color of sky ? answer :",
