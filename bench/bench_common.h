@@ -44,7 +44,9 @@ struct PaperRow {
 inline std::string Fmt(double v) { return util::FormatFloat(v, 2); }
 
 /// Builds the default experiment config for the table benches, reading
-/// shared flags: --triplets, --seed, --pretrain_steps, --cache_dir.
+/// shared flags: --triplets, --seed, --pretrain_steps, --cache_dir, plus
+/// the durability knobs --checkpoint_dir (empty disables snapshots),
+/// --checkpoint_every, and --resume.
 inline eval::ExperimentConfig MakeConfig(const util::Flags& flags,
                                          eval::ExperimentConfig::Domain
                                              domain,
@@ -66,6 +68,10 @@ inline eval::ExperimentConfig MakeConfig(const util::Flags& flags,
   config.downstream_cap =
       static_cast<size_t>(flags.GetInt("downstream_cap", 24));
   config.cache_dir = flags.GetString("cache_dir", "model_cache");
+  config.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  config.checkpoint_every =
+      static_cast<size_t>(flags.GetInt("checkpoint_every", 250));
+  config.resume = flags.GetBool("resume", true);
   return config;
 }
 
@@ -118,6 +124,11 @@ class ObsSession {
     manifest_.AddConfig("pretrain_steps",
                         static_cast<int64_t>(config.pretrain_steps));
     manifest_.AddConfig("eval_cap", static_cast<int64_t>(config.eval_cap));
+    if (!config.checkpoint_dir.empty()) {
+      manifest_.AddConfig("checkpoint_dir", config.checkpoint_dir);
+      manifest_.AddConfig("checkpoint_every",
+                          static_cast<int64_t>(config.checkpoint_every));
+    }
   }
 
   void AddBudget(const EpochBudget& budget) {

@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "model/decode_session.h"
+#include "model/pretrain.h"
 #include "model/transformer.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -211,6 +213,48 @@ void RunDecodeCompare() {
   std::printf("decode_speedup=%.2f\n", speedup);
 }
 
+/// Crash/resume smoke harness for scripts/check_build.sh. Runs a tiny
+/// pretraining job with checkpointing under `dir`. A first invocation with
+/// INFUSERKI_FAULTS="trainer/step=crash@60" dies mid-run (exit 42); a
+/// second invocation resumes from the newest snapshot; a third with a
+/// fresh dir trains uninterrupted. All three print a CRC over the final
+/// parameters — the resumed and uninterrupted runs must match bit-exactly.
+int RunResumeSmoke(const std::string& dir) {
+  model::PretrainSpec spec;
+  spec.arch.dim = 16;
+  spec.arch.num_layers = 2;
+  spec.arch.num_heads = 2;
+  spec.arch.ffn_hidden = 32;
+  spec.plain_docs = {
+      "the infuser gate decides which adapter outputs pass through",
+      "knowledge integration adds new facts without erasing old ones",
+      "a transformer block mixes attention and feed forward layers",
+      "checkpoints make long training runs survive sudden crashes",
+      "the optimizer keeps first and second moment estimates per weight",
+      "atomic renames publish files completely or not at all",
+  };
+  spec.steps = 120;
+  spec.batch_size = 4;
+  spec.lr = 1e-3f;
+  spec.seed = 11;
+  spec.cache_dir = "";  // always train; the point is the training loop
+  spec.checkpoint_dir = dir;
+  spec.checkpoint_every_n_steps = 20;
+  spec.checkpoint_keep_last = 3;
+  model::PretrainedModel model = model::PretrainOrLoad(spec);
+
+  uint32_t crc = 0;
+  for (const Tensor& p : model.lm->Parameters()) {
+    crc = infuserki::util::Crc32(p.data(), p.size() * sizeof(float), crc);
+  }
+  double resume_step =
+      obs::Registry::Get().GetGauge("trainer/resume_step")->Value();
+  std::printf("resume_smoke_resume_step=%d\n",
+              static_cast<int>(resume_step));
+  std::printf("resume_smoke_params_crc=%08x\n", crc);
+  return 0;
+}
+
 }  // namespace
 }  // namespace infuserki::tensor
 
@@ -236,6 +280,10 @@ std::string TakeFlag(int* argc, char** argv, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string resume_smoke_dir = TakeFlag(&argc, argv, "resume_smoke_dir");
+  if (!resume_smoke_dir.empty()) {
+    return infuserki::tensor::RunResumeSmoke(resume_smoke_dir);
+  }
   std::string metrics_out = TakeFlag(&argc, argv, "metrics_out");
   std::string trace_out = TakeFlag(&argc, argv, "trace_out");
   // Boolean flag: --decode_compare or --decode_compare=1 runs the cached

@@ -10,7 +10,13 @@
 # 3. Runs the cached-vs-uncached decode comparison (--decode_compare) and
 #    asserts the KV-cache engine delivers at least a 3x decode speedup at
 #    max_seq_len, with the numbers recorded in the manifest.
-# 4. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
+# 4. Builds the durability tests under ASan+UBSan and runs them, so the
+#    corruption-fuzz and fault-injection paths are exercised with memory
+#    and UB checking on.
+# 5. Runs the crash/resume smoke: a training run killed by an injected
+#    crash failpoint (exit 42) must resume from its snapshot and finish
+#    with parameters bit-identical to an uninterrupted run.
+# 6. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
 #    README.md exist, so the docs cannot drift from the tree silently.
 set -eu
 
@@ -79,6 +85,55 @@ grep -q '"engine/bench_decode_speedup"' "$DECODE_METRICS" || {
   exit 1
 }
 echo "decode speedup OK: ${SPEEDUP}x (>= 3x)"
+
+echo "== durability: ASan+UBSan serialize/checkpoint/fault tests =="
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$ASAN_DIR" -j --target durability_test train_state_test
+"$ASAN_DIR/tests/durability_test"
+"$ASAN_DIR/tests/train_state_test"
+echo "sanitized durability tests OK"
+
+echo "== durability smoke: injected crash + resume (${SMOKE_DIR}) =="
+RESUME_DIR="${TMPDIR:-/tmp}/check_build_resume"
+FRESH_DIR="${TMPDIR:-/tmp}/check_build_resume_fresh"
+rm -rf "$RESUME_DIR" "$FRESH_DIR"
+
+# Crash run: the failpoint kills the process at the 60th training step
+# (exit 42), after snapshots landed at steps 20 and 40.
+set +e
+INFUSERKI_FAULTS="trainer/step=crash@60" \
+  "$SMOKE_DIR/bench/bench_micro_tensor" --resume_smoke_dir="$RESUME_DIR" \
+  > /dev/null 2>&1
+CRASH_CODE=$?
+set -e
+[ "$CRASH_CODE" -eq 42 ] || {
+  echo "FAIL: crash run exited with $CRASH_CODE, expected 42" >&2
+  exit 1
+}
+
+# Resumed run: must pick up the step-40 snapshot and finish.
+RESUMED="$("$SMOKE_DIR/bench/bench_micro_tensor" \
+  --resume_smoke_dir="$RESUME_DIR" 2> /dev/null)"
+RESUME_STEP="$(echo "$RESUMED" | sed -n 's/^resume_smoke_resume_step=//p')"
+RESUMED_CRC="$(echo "$RESUMED" | sed -n 's/^resume_smoke_params_crc=//p')"
+[ "$RESUME_STEP" = "40" ] || {
+  echo "FAIL: resumed run restarted from step '$RESUME_STEP', expected 40" >&2
+  exit 1
+}
+
+# Reference run: same job, fresh directory, never interrupted.
+FRESH="$("$SMOKE_DIR/bench/bench_micro_tensor" \
+  --resume_smoke_dir="$FRESH_DIR" 2> /dev/null)"
+FRESH_CRC="$(echo "$FRESH" | sed -n 's/^resume_smoke_params_crc=//p')"
+[ -n "$RESUMED_CRC" ] && [ "$RESUMED_CRC" = "$FRESH_CRC" ] || {
+  echo "FAIL: resumed params CRC $RESUMED_CRC != uninterrupted $FRESH_CRC" >&2
+  exit 1
+}
+rm -rf "$RESUME_DIR" "$FRESH_DIR"
+echo "crash/resume smoke OK: resumed from step 40, params CRC $RESUMED_CRC"
 
 echo "== docs: referenced paths exist =="
 DOCS_FAIL=0

@@ -66,6 +66,10 @@ void Experiment::BuildCorpusAndPretrain() {
   spec.lr = config_.pretrain_lr;
   spec.seed = config_.seed + 2;
   spec.cache_dir = config_.cache_dir;
+  spec.checkpoint_dir = config_.checkpoint_dir;
+  spec.checkpoint_every_n_steps = config_.checkpoint_every;
+  spec.checkpoint_keep_last = config_.checkpoint_keep_last;
+  spec.resume = config_.resume;
 
   // Facts the base model is supposed to know: seen-template QA,
   // statements, yes/no. A slice of the subset also appears under the

@@ -1,12 +1,22 @@
 #include "kg/io.h"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "util/atomic_file.h"
+#include "util/crc32.h"
 #include "util/string_util.h"
 
 namespace infuserki::kg {
 namespace {
+
+// Framed TSV (v2): "#ikgtsv2\t<payload line count>" header, payload lines,
+// "#crc32\t<8 hex>" trailer over the payload bytes. Still a grep-able text
+// file, but truncation, appended junk, and bit flips are all detectable.
+constexpr char kFrameHeaderTag[] = "#ikgtsv2";
+constexpr char kFrameTrailerTag[] = "#crc32";
 
 std::vector<std::string> SplitTabs(const std::string& line) {
   std::vector<std::string> fields;
@@ -20,60 +30,128 @@ std::vector<std::string> SplitTabs(const std::string& line) {
   return fields;
 }
 
-}  // namespace
-
-util::Status SaveTsv(const KnowledgeGraph& kg, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::Status::Internal("cannot open " + path);
-  for (size_t r = 0; r < kg.num_relations(); ++r) {
-    const Relation& relation = kg.relation(static_cast<int>(r));
-    out << "#relation\t" << relation.name << "\t" << relation.surface
-        << "\n";
-  }
-  for (const Triplet& triplet : kg.triplets()) {
-    out << kg.entity(triplet.head).name << "\t"
-        << kg.relation(triplet.relation).name << "\t"
-        << kg.entity(triplet.tail).name << "\n";
-  }
-  out.flush();
-  if (!out) return util::Status::DataLoss("short write to " + path);
-  return util::Status::OK();
-}
-
-util::StatusOr<KnowledgeGraph> LoadTsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return util::Status::NotFound("cannot open " + path);
-  KnowledgeGraph kg;
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    std::vector<std::string> fields = SplitTabs(line);
-    if (fields[0] == "#relation") {
-      if (fields.size() != 3) {
-        return util::Status::InvalidArgument(
-            path + ":" + std::to_string(line_number) +
-            ": malformed relation header");
-      }
-      kg.AddRelation(fields[1], fields[2]);
-      continue;
-    }
+util::Status ParseLine(const std::string& path, size_t line_number,
+                       const std::string& line, KnowledgeGraph* kg) {
+  std::vector<std::string> fields = SplitTabs(line);
+  if (fields[0] == "#relation") {
     if (fields.size() != 3) {
       return util::Status::InvalidArgument(
           path + ":" + std::to_string(line_number) +
-          ": expected head\\trelation\\ttail");
+          ": malformed relation header");
     }
-    int head = kg.AddEntity(fields[0]);
-    int relation = kg.FindRelation(fields[1]);
-    if (relation < 0) relation = kg.AddRelation(fields[1], fields[1]);
-    int tail = kg.AddEntity(fields[2]);
-    util::Status status = kg.AddTriplet(head, relation, tail);
-    if (!status.ok()) {
-      return util::Status::InvalidArgument(
-          path + ":" + std::to_string(line_number) + ": " +
-          status.message());
+    kg->AddRelation(fields[1], fields[2]);
+    return util::Status::OK();
+  }
+  if (fields.size() != 3) {
+    return util::Status::InvalidArgument(
+        path + ":" + std::to_string(line_number) +
+        ": expected head\\trelation\\ttail");
+  }
+  int head = kg->AddEntity(fields[0]);
+  int relation = kg->FindRelation(fields[1]);
+  if (relation < 0) relation = kg->AddRelation(fields[1], fields[1]);
+  int tail = kg->AddEntity(fields[2]);
+  util::Status status = kg->AddTriplet(head, relation, tail);
+  if (!status.ok()) {
+    return util::Status::InvalidArgument(
+        path + ":" + std::to_string(line_number) + ": " + status.message());
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status SaveTsv(const KnowledgeGraph& kg, const std::string& path) {
+  std::ostringstream payload;
+  size_t payload_lines = 0;
+  for (size_t r = 0; r < kg.num_relations(); ++r) {
+    const Relation& relation = kg.relation(static_cast<int>(r));
+    payload << "#relation\t" << relation.name << "\t" << relation.surface
+            << "\n";
+    ++payload_lines;
+  }
+  for (const Triplet& triplet : kg.triplets()) {
+    payload << kg.entity(triplet.head).name << "\t"
+            << kg.relation(triplet.relation).name << "\t"
+            << kg.entity(triplet.tail).name << "\n";
+    ++payload_lines;
+  }
+  std::string body = payload.str();
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", util::Crc32(body));
+  std::string contents = std::string(kFrameHeaderTag) + "\t" +
+                         std::to_string(payload_lines) + "\n" + body +
+                         kFrameTrailerTag + "\t" + crc_hex + "\n";
+  return util::WriteFileAtomic(path, contents, "kg/save");
+}
+
+util::StatusOr<KnowledgeGraph> LoadTsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+  if (contents.empty()) {
+    return util::Status::DataLoss("empty KG file " + path);
+  }
+
+  // Split into lines, preserving the exact payload bytes for the CRC.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < contents.size()) {
+    size_t end = contents.find('\n', start);
+    if (end == std::string::npos) end = contents.size();
+    lines.push_back(contents.substr(start, end - start));
+    start = end + 1;
+  }
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+
+  size_t first_payload = 0;
+  size_t end_payload = lines.size();
+  bool framed = !lines.empty() && SplitTabs(lines[0])[0] == kFrameHeaderTag;
+  if (framed) {
+    std::vector<std::string> header = SplitTabs(lines[0]);
+    unsigned long long declared = 0;
+    char trailer_char = '\0';
+    if (header.size() != 2 ||
+        std::sscanf(header[1].c_str(), "%llu%c", &declared, &trailer_char) !=
+            1) {
+      return util::Status::DataLoss("malformed frame header in " + path);
     }
+    if (lines.size() < 2 ||
+        SplitTabs(lines.back())[0] != kFrameTrailerTag) {
+      return util::Status::DataLoss("missing CRC trailer in " + path);
+    }
+    std::vector<std::string> trailer = SplitTabs(lines.back());
+    if (trailer.size() != 2 || trailer[1].size() != 8 ||
+        trailer[1].find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+      return util::Status::DataLoss("malformed CRC trailer in " + path);
+    }
+    first_payload = 1;
+    end_payload = lines.size() - 1;
+    if (end_payload - first_payload != declared) {
+      return util::Status::DataLoss(
+          "KG file " + path + " declares " + std::to_string(declared) +
+          " lines but has " +
+          std::to_string(end_payload - first_payload));
+    }
+    std::string body;
+    for (size_t i = first_payload; i < end_payload; ++i) {
+      body += lines[i];
+      body += '\n';
+    }
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", util::Crc32(body));
+    if (trailer[1] != crc_hex) {
+      return util::Status::DataLoss("CRC mismatch in " + path);
+    }
+  }
+
+  KnowledgeGraph kg;
+  for (size_t i = first_payload; i < end_payload; ++i) {
+    if (lines[i].empty()) continue;
+    RETURN_IF_ERROR(ParseLine(path, i + 1, lines[i], &kg));
   }
   return kg;
 }

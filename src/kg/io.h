@@ -10,11 +10,15 @@ namespace infuserki::kg {
 
 /// Writes a KG as tab-separated triples: one "head\trelation\ttail" line
 /// per triplet, preceded by "#relation\tname\tsurface" header lines so the
-/// relation surfaces survive a round trip.
+/// relation surfaces survive a round trip. The payload is framed with an
+/// "#ikgtsv2\t<line count>" header and a "#crc32\t<hex>" trailer, and the
+/// file is published atomically (write temp, fsync, rename).
 util::Status SaveTsv(const KnowledgeGraph& kg, const std::string& path);
 
 /// Loads a KG written by SaveTsv (or any plain head\trelation\ttail file;
-/// unknown relations get their name as surface). Duplicate (head,
+/// unknown relations get their name as surface). Framed files are verified
+/// — truncation, line-count drift, or a CRC mismatch returns kDataLoss —
+/// while legacy headerless files parse as before. Duplicate (head,
 /// relation) pairs are rejected with the offending line number.
 util::StatusOr<KnowledgeGraph> LoadTsv(const std::string& path);
 

@@ -3,9 +3,11 @@
 #include <filesystem>
 
 #include "model/trainer.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/checkpoint.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
@@ -33,62 +35,46 @@ uint64_t HashValue(uint64_t h, uint64_t v) {
   return h;
 }
 
-std::string CachePath(const PretrainSpec& spec) {
+std::string FingerprintHex(const PretrainSpec& spec) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(spec.Fingerprint()));
-  return spec.cache_dir + "/base_" + buf + ".ckpt";
+  return buf;
 }
 
+/// An obviously-corrupt vocabulary size: larger than any corpus these
+/// experiments build, small enough that a bad value cannot make the model
+/// constructor allocate gigabytes before the mismatch is noticed.
+constexpr uint64_t kMaxPlausibleVocab = uint64_t{1} << 24;
+
 bool TryLoadFromCache(const PretrainSpec& spec, PretrainedModel* out) {
-  std::string path = CachePath(spec);
-  util::BinaryReader reader(path);
-  if (!reader.ok()) return false;
-  if (reader.ReadU32() != kCacheMagic) {
-    LOG_WARNING << "ignoring corrupt model cache file " << path;
-    return false;
+  std::string path = PretrainCachePath(spec);
+  util::Status status = LoadCachedModel(path, spec, out);
+  if (status.ok()) {
+    obs::Lineage::Get().Record("pretrain: loaded cache " + path);
+    LOG_INFO << "loaded pretrained base model from " << path;
+    return true;
   }
-  uint64_t stored_fingerprint = reader.ReadU64();
-  uint64_t vocab = reader.ReadU64();
-  if (!reader.ok() || stored_fingerprint != spec.Fingerprint()) {
-    LOG_WARNING << "ignoring stale model cache file " << path;
-    return false;
+  // A missing file is the ordinary cache miss; anything else means the
+  // file exists but cannot be trusted. Quarantine it so the retrained
+  // replacement does not collide with the corrupt bytes, and so the
+  // operator can inspect what went wrong.
+  if (status.code() != util::StatusCode::kNotFound) {
+    LOG_WARNING << "unusable model cache " << path << ": "
+                << status.ToString() << "; retraining from scratch";
+    util::Status quarantine = util::QuarantineFile(path);
+    if (!quarantine.ok()) {
+      LOG_WARNING << "quarantine failed: " << quarantine.ToString();
+    }
   }
-  auto tokenizer = text::Tokenizer::Deserialize(&reader);
-  if (!tokenizer.ok()) {
-    LOG_WARNING << "cache tokenizer: " << tokenizer.status();
-    return false;
-  }
-  if (tokenizer.value().vocab_size() != vocab) {
-    LOG_WARNING << "cache vocab mismatch in " << path;
-    return false;
-  }
-  TransformerConfig arch = spec.arch;
-  arch.vocab_size = vocab;
-  util::Rng init_rng(spec.seed);
-  auto lm = std::make_unique<TransformerLM>(arch, &init_rng);
-  util::Status status = tensor::ReadParametersInto(lm->NamedParameters(),
-                                                   &reader);
-  if (!status.ok()) {
-    LOG_WARNING << "cache parameters: " << status;
-    return false;
-  }
-  out->lm = std::move(lm);
-  out->tokenizer = std::move(tokenizer).value();
-  out->final_loss = 0.0f;
-  LOG_INFO << "loaded pretrained base model from " << path;
-  return true;
+  return false;
 }
 
 void SaveToCache(const PretrainSpec& spec, const PretrainedModel& model) {
   std::error_code ec;
   std::filesystem::create_directories(spec.cache_dir, ec);
-  std::string path = CachePath(spec);
-  util::BinaryWriter writer(path);
-  if (!writer.ok()) {
-    LOG_WARNING << "cannot write model cache " << path;
-    return;
-  }
+  std::string path = PretrainCachePath(spec);
+  util::BinaryWriter writer(path, "pretrain/cache_write");
   writer.WriteU32(kCacheMagic);
   writer.WriteU64(spec.Fingerprint());
   writer.WriteU64(model.tokenizer.vocab_size());
@@ -103,6 +89,50 @@ void SaveToCache(const PretrainSpec& spec, const PretrainedModel& model) {
 }
 
 }  // namespace
+
+std::string PretrainCachePath(const PretrainSpec& spec) {
+  return spec.cache_dir + "/base_" + FingerprintHex(spec) + ".ckpt";
+}
+
+util::Status LoadCachedModel(const std::string& path,
+                             const PretrainSpec& spec, PretrainedModel* out) {
+  util::BinaryReader reader(path);
+  // NotFound = cache miss; kDataLoss = torn/corrupt frame. Either way the
+  // frame CRC has already been verified before any field below is parsed.
+  if (!reader.ok()) return reader.status();
+  uint32_t magic = reader.ReadU32();
+  if (!reader.ok() || magic != kCacheMagic) {
+    return util::Status::DataLoss("bad model-cache magic in " + path);
+  }
+  uint64_t stored_fingerprint = reader.ReadU64();
+  uint64_t vocab = reader.ReadU64();
+  if (!reader.ok()) {
+    return util::Status::DataLoss("truncated model-cache header in " + path);
+  }
+  if (stored_fingerprint != spec.Fingerprint()) {
+    // The fingerprint is embedded in the file name, so a mismatch means the
+    // content contradicts the name — corruption, not staleness.
+    return util::Status::DataLoss("fingerprint mismatch in " + path);
+  }
+  if (vocab == 0 || vocab > kMaxPlausibleVocab) {
+    return util::Status::DataLoss("implausible vocabulary size " +
+                                  std::to_string(vocab) + " in " + path);
+  }
+  auto tokenizer = text::Tokenizer::Deserialize(&reader);
+  if (!tokenizer.ok()) return tokenizer.status();
+  if (tokenizer.value().vocab_size() != vocab) {
+    return util::Status::DataLoss("vocabulary size mismatch in " + path);
+  }
+  TransformerConfig arch = spec.arch;
+  arch.vocab_size = vocab;
+  util::Rng init_rng(spec.seed);
+  auto lm = std::make_unique<TransformerLM>(arch, &init_rng);
+  RETURN_IF_ERROR(tensor::ReadParametersInto(lm->NamedParameters(), &reader));
+  out->lm = std::move(lm);
+  out->tokenizer = std::move(tokenizer).value();
+  out->final_loss = 0.0f;
+  return util::Status::OK();
+}
 
 uint64_t PretrainSpec::Fingerprint() const {
   uint64_t h = 0xcbf29ce484222325ull;
@@ -164,10 +194,19 @@ PretrainedModel PretrainOrLoad(const PretrainSpec& spec) {
   trainer_options.batch_size = spec.batch_size;
   trainer_options.seed = spec.seed + 1;
   LmTrainer trainer(model.lm.get(), model.lm->Parameters(), trainer_options);
+  CheckpointPolicy policy;
+  if (!spec.checkpoint_dir.empty() && spec.checkpoint_every_n_steps > 0) {
+    // Keyed by fingerprint so concurrent runs with different specs never
+    // resume from each other's snapshots.
+    policy.dir = spec.checkpoint_dir + "/pretrain_" + FingerprintHex(spec);
+    policy.every_n_steps = spec.checkpoint_every_n_steps;
+    policy.keep_last = spec.checkpoint_keep_last;
+    policy.resume = spec.resume;
+  }
   util::Stopwatch watch;
   {
     OBS_SPAN("pretrain/train");
-    model.final_loss = trainer.TrainSteps(examples, spec.steps);
+    model.final_loss = trainer.TrainSteps(examples, spec.steps, {}, policy);
   }
   double train_seconds = watch.Lap();
   obs::Registry::Get().GetGauge("pretrain/train_seconds")->Set(train_seconds);

@@ -9,6 +9,7 @@
 #include "model/config.h"
 #include "model/transformer.h"
 #include "text/tokenizer.h"
+#include "util/status.h"
 
 namespace infuserki::model {
 
@@ -36,6 +37,15 @@ struct PretrainSpec {
   /// Directory for cached models; empty disables caching.
   std::string cache_dir;
 
+  /// Mid-run durability (see model/train_state.h). These knobs do not
+  /// change what is trained, only how the run survives crashes, so they
+  /// are deliberately excluded from Fingerprint(): an interrupted run and
+  /// a clean one produce (and cache) the same model.
+  std::string checkpoint_dir;
+  size_t checkpoint_every_n_steps = 0;
+  size_t checkpoint_keep_last = 2;
+  bool resume = true;
+
   uint64_t Fingerprint() const;
 };
 
@@ -46,9 +56,24 @@ struct PretrainedModel {
   float final_loss = 0.0f;  // 0 when loaded from cache
 };
 
+/// Cache file the spec would load from / save to:
+/// `<cache_dir>/base_<fingerprint-hex>.ckpt`.
+std::string PretrainCachePath(const PretrainSpec& spec);
+
+/// Strict cache-file loader. Returns kNotFound for a missing file and an
+/// error (never a half-built model) for anything unreadable: torn frame,
+/// CRC mismatch, wrong magic, fingerprint that contradicts the file name,
+/// implausible vocabulary size, undecodable tokenizer or parameters.
+util::Status LoadCachedModel(const std::string& path,
+                             const PretrainSpec& spec, PretrainedModel* out);
+
 /// Trains the base LM on the spec's corpus, or loads it from the cache when
 /// a model with the same fingerprint exists. The returned model's
 /// parameters are left trainable (callers freeze them for PEFT).
+///
+/// Robustness: a corrupt cache file is quarantined (renamed `.corrupt`)
+/// and the model is retrained from scratch; with `checkpoint_dir` set the
+/// training loop itself snapshots and resumes per the spec's policy.
 PretrainedModel PretrainOrLoad(const PretrainSpec& spec);
 
 }  // namespace infuserki::model

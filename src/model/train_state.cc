@@ -1,0 +1,112 @@
+#include "model/train_state.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace infuserki::model {
+namespace {
+
+constexpr uint32_t kTrainStateMagic = 0x494b5431;  // "IKT1"
+
+}  // namespace
+
+util::Status SaveTrainState(const std::string& path, const TrainState& state,
+                            const tensor::AdamW& optimizer) {
+  util::BinaryWriter writer(path, "train_state/write");
+  writer.WriteU32(kTrainStateMagic);
+  writer.WriteU64(state.next_step);
+  writer.WriteU64(state.total_steps);
+  writer.WriteU64(state.order.size());
+  for (uint64_t index : state.order) writer.WriteU64(index);
+  writer.WriteU64(state.cursor);
+  writer.WriteFloatVector(state.losses);
+  writer.WriteString(state.rng_state);
+  optimizer.Serialize(&writer);
+  return writer.Finish();
+}
+
+util::Status LoadTrainState(const std::string& path, TrainState* state,
+                            tensor::AdamW* optimizer) {
+  util::BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  uint32_t magic = reader.ReadU32();
+  if (!reader.ok() || magic != kTrainStateMagic) {
+    return util::Status::DataLoss("bad train-state magic in " + path);
+  }
+  TrainState loaded;
+  loaded.next_step = reader.ReadU64();
+  loaded.total_steps = reader.ReadU64();
+  uint64_t order_size = reader.ReadU64();
+  if (!reader.ok() || order_size > (uint64_t{1} << 32)) {
+    return util::Status::DataLoss("bad visit-order size in " + path);
+  }
+  loaded.order.resize(order_size);
+  for (uint64_t i = 0; i < order_size; ++i) loaded.order[i] = reader.ReadU64();
+  loaded.cursor = reader.ReadU64();
+  loaded.losses = reader.ReadFloatVector();
+  loaded.rng_state = reader.ReadString();
+  if (!reader.ok()) {
+    return util::Status::DataLoss("truncated train state in " + path);
+  }
+  if (loaded.cursor > loaded.order.size()) {
+    return util::Status::DataLoss("cursor past visit order in " + path);
+  }
+  // Prove the RNG stream is restorable before touching the optimizer: the
+  // optimizer writes through shared tensor storage into the model, which
+  // must stay pristine unless the whole snapshot is usable.
+  util::Rng probe(0);
+  RETURN_IF_ERROR(probe.RestoreState(loaded.rng_state));
+  RETURN_IF_ERROR(optimizer->Deserialize(&reader));
+  *state = std::move(loaded);
+  return util::Status::OK();
+}
+
+std::string TrainCheckpointPath(const std::string& dir, uint64_t step) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "step_%08llu.ckpt",
+                static_cast<unsigned long long>(step));
+  return dir + "/" + name;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ListTrainCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return found;
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    unsigned long long step = 0;
+    char trailer = '\0';
+    // Exactly "step_<digits>.ckpt": the trailing %c rejects ".ckpt.tmp",
+    // ".ckpt.corrupt", and any other suffix.
+    if (std::sscanf(name.c_str(), "step_%llu.ckpt%c", &step, &trailer) != 1) {
+      continue;
+    }
+    found.emplace_back(step, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+void RotateTrainCheckpoints(const std::string& dir, size_t keep_last) {
+  if (keep_last == 0) keep_last = 1;
+  auto snapshots = ListTrainCheckpoints(dir);
+  if (snapshots.size() <= keep_last) return;
+  for (size_t i = 0; i + keep_last < snapshots.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(snapshots[i].second, ec);
+    if (ec) {
+      LOG_WARNING << "failed to rotate out " << snapshots[i].second << ": "
+                  << ec.message();
+    }
+  }
+}
+
+}  // namespace infuserki::model

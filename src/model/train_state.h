@@ -1,0 +1,72 @@
+#ifndef INFUSERKI_MODEL_TRAIN_STATE_H_
+#define INFUSERKI_MODEL_TRAIN_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/optimizer.h"
+#include "util/status.h"
+
+namespace infuserki::model {
+
+/// Where, how often, and how durably a training loop snapshots itself.
+/// Default-constructed policy disables checkpointing entirely, so existing
+/// call sites are unaffected.
+struct CheckpointPolicy {
+  /// Directory for snapshots; created on first save. Empty disables.
+  std::string dir;
+  /// Snapshot after every N completed optimizer steps. 0 disables.
+  size_t every_n_steps = 0;
+  /// How many most-recent snapshots survive rotation (minimum 1).
+  size_t keep_last = 2;
+  /// Whether TrainSteps may resume from the newest valid snapshot in `dir`.
+  bool resume = true;
+
+  bool enabled() const { return !dir.empty() && every_n_steps > 0; }
+};
+
+/// Everything LmTrainer::TrainSteps needs — beyond the optimizer state — to
+/// continue a run bit-exactly: the schedule position, the shuffled visit
+/// order, the epoch cursor, the per-step loss history (the return value is
+/// a window over it), and the serialized RNG stream.
+struct TrainState {
+  /// First step index the resumed loop should execute.
+  uint64_t next_step = 0;
+  /// Horizon the snapshot was taken under; resuming into a run with a
+  /// different total is rejected (the cosine schedule would diverge).
+  uint64_t total_steps = 0;
+  std::vector<uint64_t> order;
+  uint64_t cursor = 0;
+  std::vector<float> losses;
+  std::string rng_state;
+};
+
+/// Serializes `state` plus the optimizer (weights, moments, step counter)
+/// into the framed v2 format at `path`, atomically (failpoint
+/// "train_state/write"). The file is either fully present or absent.
+util::Status SaveTrainState(const std::string& path, const TrainState& state,
+                            const tensor::AdamW& optimizer);
+
+/// Restores a snapshot written by SaveTrainState. Transactional: the frame
+/// CRC, every field, and the RNG stream are validated before the optimizer
+/// (and, through shared tensor storage, the model) is touched. On any error
+/// `*state` and `*optimizer` are unchanged.
+util::Status LoadTrainState(const std::string& path, TrainState* state,
+                            tensor::AdamW* optimizer);
+
+/// Canonical snapshot path for a given step: `<dir>/step_<%08u>.ckpt`.
+std::string TrainCheckpointPath(const std::string& dir, uint64_t step);
+
+/// Snapshots present in `dir`, sorted by ascending step. Ignores temp and
+/// quarantined (".corrupt") files. Missing directory -> empty list.
+std::vector<std::pair<uint64_t, std::string>> ListTrainCheckpoints(
+    const std::string& dir);
+
+/// Deletes all but the newest `keep_last` snapshots in `dir`.
+void RotateTrainCheckpoints(const std::string& dir, size_t keep_last);
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_TRAIN_STATE_H_

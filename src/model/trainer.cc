@@ -1,11 +1,16 @@
 #include "model/trainer.h"
 
 #include <cmath>
+#include <filesystem>
 #include <numeric>
+#include <system_error>
 
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -83,18 +88,77 @@ LmTrainer::LmTrainer(const TransformerLM* lm,
 }
 
 float LmTrainer::TrainSteps(const std::vector<LmExample>& examples,
-                            size_t steps, const ForwardOptions& forward) {
+                            size_t steps, const ForwardOptions& forward,
+                            const CheckpointPolicy& policy) {
   CHECK(!examples.empty());
   OBS_SPAN("trainer/train_steps");
   uint64_t tokens_before = Metrics().tokens->Value();
   util::Stopwatch watch;
   std::vector<size_t> order(examples.size());
-  std::iota(order.begin(), order.end(), 0);
-  rng_.Shuffle(&order);
   size_t cursor = 0;
   std::vector<float> losses;
   losses.reserve(steps);
-  for (size_t step = 0; step < steps; ++step) {
+  size_t start_step = 0;
+
+  if (policy.enabled() && policy.resume) {
+    // Newest first; a snapshot that fails its CRC (or decodes but does not
+    // belong to this run shape) is quarantined or skipped and the next
+    // older one is tried. No usable snapshot -> train from scratch.
+    auto snapshots = ListTrainCheckpoints(policy.dir);
+    for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+      TrainState state;
+      util::Status status = LoadTrainState(it->second, &state, &optimizer_);
+      if (!status.ok()) {
+        LOG_WARNING << "unusable snapshot " << it->second << ": "
+                    << status.ToString();
+        util::Status quarantine = util::QuarantineFile(it->second);
+        if (!quarantine.ok()) {
+          LOG_WARNING << "quarantine failed: " << quarantine.ToString();
+        }
+        continue;
+      }
+      if (state.total_steps != steps || state.order.size() != order.size() ||
+          state.rng_state.empty()) {
+        LOG_WARNING << "snapshot " << it->second
+                    << " belongs to a different run shape; skipping";
+        continue;
+      }
+      // LoadTrainState already validated the stream on a probe engine.
+      CHECK(rng_.RestoreState(state.rng_state).ok());
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<size_t>(state.order[i]);
+      }
+      cursor = static_cast<size_t>(state.cursor);
+      losses = std::move(state.losses);
+      start_step = static_cast<size_t>(state.next_step);
+      obs::Lineage::Get().Record("trainer: resumed from " + it->second);
+      obs::Registry::Get().GetGauge("trainer/resume_step")
+          ->Set(static_cast<double>(start_step));
+      obs::Registry::Get().GetCounter("trainer/resumes")->Increment();
+      LOG_INFO << "resuming training from " << it->second << " (step "
+               << start_step << "/" << steps << ")";
+      break;
+    }
+  }
+  if (start_step == 0) {
+    std::iota(order.begin(), order.end(), 0);
+    rng_.Shuffle(&order);
+    cursor = 0;
+  }
+
+  const bool faults_active = util::FaultRegistry::Get().active();
+  for (size_t step = start_step; step < steps; ++step) {
+    if (faults_active) {
+      // "trainer/step" failpoint: `crash@N` terminates the process here
+      // (simulating a hard kill between optimizer steps); `fail@N` returns
+      // an error we treat as a graceful interrupt request.
+      util::Status fault = FAULT_POINT("trainer/step");
+      if (!fault.ok()) {
+        LOG_WARNING << "training interrupted at step " << step << ": "
+                    << fault.ToString();
+        break;
+      }
+    }
     std::vector<const LmExample*> batch;
     batch.reserve(batch_size_);
     for (size_t b = 0; b < batch_size_; ++b) {
@@ -113,6 +177,32 @@ float LmTrainer::TrainSteps(const std::vector<LmExample>& examples,
       optimizer_.set_lr(base_lr_ * scale);
     }
     losses.push_back(Step(batch, forward));
+    size_t done = step + 1;
+    if (policy.enabled() && done % policy.every_n_steps == 0 &&
+        done < steps) {
+      std::error_code ec;
+      std::filesystem::create_directories(policy.dir, ec);
+      TrainState state;
+      state.next_step = done;
+      state.total_steps = steps;
+      state.order.assign(order.begin(), order.end());
+      state.cursor = cursor;
+      state.losses = losses;
+      state.rng_state = rng_.SaveState();
+      std::string path = TrainCheckpointPath(policy.dir, done);
+      util::Status status = SaveTrainState(path, state, optimizer_);
+      if (status.ok()) {
+        obs::Registry::Get()
+            .GetCounter("trainer/checkpoints_written")
+            ->Increment();
+        RotateTrainCheckpoints(policy.dir, policy.keep_last);
+      } else {
+        // Degrade gracefully: a failed snapshot costs durability, not the
+        // run. The atomic writer guarantees no torn file was left behind.
+        LOG_WARNING << "snapshot " << path
+                    << " failed: " << status.ToString();
+      }
+    }
   }
   optimizer_.set_lr(base_lr_);
   double elapsed = watch.ElapsedSeconds();

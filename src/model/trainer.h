@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "model/train_state.h"
 #include "model/transformer.h"
 #include "tensor/optimizer.h"
 #include "text/tokenizer.h"
@@ -62,8 +63,16 @@ class LmTrainer {
 
   /// Runs `steps` optimizer steps, cycling over `examples` in reshuffled
   /// epochs. Returns the mean loss of the final epoch-equivalent window.
+  ///
+  /// With an enabled `policy`, the loop snapshots its full state (weights,
+  /// AdamW moments, RNG stream, schedule position) every
+  /// `policy.every_n_steps` steps and, if `policy.resume` is set, first
+  /// tries to continue from the newest valid snapshot in `policy.dir`.
+  /// A resumed run is bit-exact with an uninterrupted one; snapshots that
+  /// fail their CRC are quarantined and the next-older one is tried.
   float TrainSteps(const std::vector<LmExample>& examples, size_t steps,
-                   const ForwardOptions& forward = {});
+                   const ForwardOptions& forward = {},
+                   const CheckpointPolicy& policy = {});
 
   /// Single optimizer step on an explicit batch; returns its mean loss.
   float Step(const std::vector<const LmExample*>& batch,

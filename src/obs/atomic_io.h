@@ -1,0 +1,49 @@
+#ifndef INFUSERKI_OBS_ATOMIC_IO_H_
+#define INFUSERKI_OBS_ATOMIC_IO_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+
+namespace infuserki::obs {
+
+/// Minimal tmp -> fsync -> rename file publish. obs sits below util, so it
+/// cannot use util::AtomicFileWriter; this keeps manifests and traces free
+/// of torn writes with the same protocol (no retry/failpoints down here).
+inline bool WriteFileAtomically(const std::string& path,
+                                const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return false;
+  size_t offset = 0;
+  while (offset < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + offset,
+                        contents.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace infuserki::obs
+
+#endif  // INFUSERKI_OBS_ATOMIC_IO_H_

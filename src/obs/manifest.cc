@@ -1,12 +1,31 @@
 #include "obs/manifest.h"
 
-#include <fstream>
-
+#include "obs/atomic_io.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace infuserki::obs {
+
+Lineage& Lineage::Get() {
+  static Lineage* lineage = new Lineage();
+  return *lineage;
+}
+
+void Lineage::Record(std::string event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<std::string> Lineage::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Lineage::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
 
 RunManifest::RunManifest(std::string bench_name)
     : bench_name_(std::move(bench_name)) {}
@@ -37,21 +56,24 @@ std::string RunManifest::ToJson() const {
                    static_cast<double>(rollup.total_us) * 1e-6);
     spans.AddRaw(name, span.Finish());
   }
+  std::string lineage = "[";
+  for (const std::string& event : Lineage::Get().Snapshot()) {
+    if (lineage.size() > 1) lineage += ",";
+    lineage += "\"" + JsonEscape(event) + "\"";
+  }
+  lineage += "]";
   JsonWriter out;
   out.AddString("bench", bench_name_)
       .AddRaw("config", config.Finish())
       .AddRaw("metrics", Registry::Get().JsonDump())
       .AddRaw("spans", spans.Finish())
-      .AddUint("spans_dropped", Tracer::Get().dropped());
+      .AddUint("spans_dropped", Tracer::Get().dropped())
+      .AddRaw("lineage", lineage);
   return out.Finish();
 }
 
 bool RunManifest::Write(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) return false;
-  out << ToJson() << "\n";
-  out.flush();
-  return out.good();
+  return WriteFileAtomically(path, ToJson() + "\n");
 }
 
 }  // namespace infuserki::obs

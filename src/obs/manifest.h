@@ -2,11 +2,30 @@
 #define INFUSERKI_OBS_MANIFEST_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace infuserki::obs {
+
+/// Process-wide append-only log of durability events (checkpoint resumes,
+/// cache loads, quarantines). Producers anywhere in the stack record one
+/// human-readable line per event; RunManifest snapshots the list under
+/// "lineage", so a run's manifest shows exactly which prior state it was
+/// built from.
+class Lineage {
+ public:
+  static Lineage& Get();
+
+  void Record(std::string event);
+  std::vector<std::string> Snapshot() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> events_;
+};
 
 /// JSON run manifest written by bench binaries via --metrics_out: the run
 /// configuration, a full metric-registry snapshot, and per-name span

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
+#include <sstream>
 
+#include "obs/atomic_io.h"
 #include "obs/json.h"
 
 namespace infuserki::obs {
@@ -117,8 +118,7 @@ std::map<std::string, SpanRollup> Tracer::Rollup() const {
 }
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) return false;
+  std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"infuserki\"}}";
@@ -137,8 +137,7 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
     out << ",\n" << entry.Finish();
   }
   out << "\n]}\n";
-  out.flush();
-  return out.good();
+  return WriteFileAtomically(path, out.str());
 }
 
 void Tracer::Clear() {

@@ -24,10 +24,11 @@ void WriteParameters(const std::vector<NamedParameter>& params,
   }
 }
 
-util::Status ReadParametersInto(std::vector<NamedParameter> params,
+util::Status ReadParametersInto(const std::vector<NamedParameter>& params,
                                 util::BinaryReader* reader) {
   const std::string& path = reader->path();
-  if (reader->ReadU32() != kMagic || !reader->ok()) {
+  uint32_t magic = reader->ReadU32();
+  if (!reader->ok() || magic != kMagic) {
     return util::Status::DataLoss("bad parameter-block magic in " + path);
   }
   uint64_t count = reader->ReadU64();
@@ -38,7 +39,7 @@ util::Status ReadParametersInto(std::vector<NamedParameter> params,
         std::to_string(params.size()));
   }
   std::map<std::string, Tensor> by_name;
-  for (NamedParameter& p : params) {
+  for (const NamedParameter& p : params) {
     auto [it, inserted] = by_name.emplace(p.name, p.tensor);
     (void)it;
     if (!inserted) {
@@ -76,21 +77,17 @@ util::Status ReadParametersInto(std::vector<NamedParameter> params,
 
 util::Status SaveParameters(const std::vector<NamedParameter>& params,
                             const std::string& path) {
-  util::BinaryWriter writer(path);
-  if (!writer.ok()) {
-    return util::Status::Internal("cannot open " + path + " for writing");
-  }
+  util::BinaryWriter writer(path, "ckpt/write");
   WriteParameters(params, &writer);
   return writer.Finish();
 }
 
-util::Status LoadParameters(std::vector<NamedParameter> params,
+util::Status LoadParameters(const std::vector<NamedParameter>& params,
                             const std::string& path) {
   util::BinaryReader reader(path);
-  if (!reader.ok()) {
-    return util::Status::NotFound("cannot open checkpoint " + path);
-  }
-  return ReadParametersInto(std::move(params), &reader);
+  // NotFound for a missing file, kDataLoss for a torn or corrupt frame.
+  if (!reader.ok()) return reader.status();
+  return ReadParametersInto(params, &reader);
 }
 
 }  // namespace infuserki::tensor

@@ -10,20 +10,31 @@
 
 namespace infuserki::tensor {
 
+/// Borrowing contract: a `std::vector<NamedParameter>` here is a cheap
+/// *view* of the model's parameters — each NamedParameter::tensor is a
+/// shared handle onto storage the model owns (Module::NamedParameters()
+/// materializes a fresh vector of such handles per call). Readers write
+/// through the handles in place; nothing ever takes ownership, so the
+/// functions below take the vector by const reference.
+
 /// Appends `params` (names, shapes, data) to an open binary stream.
 void WriteParameters(const std::vector<NamedParameter>& params,
                      util::BinaryWriter* writer);
 
-/// Reads a parameter block written by WriteParameters into `params` in
-/// place. Strict: every stored name must match a parameter of identical
-/// shape and the counts must agree.
-util::Status ReadParametersInto(std::vector<NamedParameter> params,
+/// Reads a parameter block written by WriteParameters into `params`' shared
+/// tensor storage. Strict: every stored name must match a parameter of
+/// identical shape and the counts must agree. No tensor is modified unless
+/// its stored counterpart fully decodes.
+util::Status ReadParametersInto(const std::vector<NamedParameter>& params,
                                 util::BinaryReader* reader);
 
-/// Whole-file convenience wrappers.
+/// Whole-file convenience wrappers over the framed v2 format: SaveParameters
+/// publishes atomically (failpoint "ckpt/write"); LoadParameters rejects any
+/// truncated or bit-flipped file with kDataLoss before parsing (see
+/// util/serialize.h).
 util::Status SaveParameters(const std::vector<NamedParameter>& params,
                             const std::string& path);
-util::Status LoadParameters(std::vector<NamedParameter> params,
+util::Status LoadParameters(const std::vector<NamedParameter>& params,
                             const std::string& path);
 
 }  // namespace infuserki::tensor

@@ -1,6 +1,8 @@
 #include "tensor/optimizer.h"
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 namespace infuserki::tensor {
 
@@ -64,6 +66,56 @@ void AdamW::Step() {
                options_.weight_decay * w[j]);
     }
   }
+}
+
+void AdamW::Serialize(util::BinaryWriter* writer) const {
+  writer->WriteU64(params_.size());
+  writer->WriteU64(static_cast<uint64_t>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    writer->WriteFloatVector(params_[i].vec());
+    writer->WriteFloatVector(m_[i]);
+    writer->WriteFloatVector(v_[i]);
+  }
+}
+
+util::Status AdamW::Deserialize(util::BinaryReader* reader) {
+  const uint64_t count = reader->ReadU64();
+  const uint64_t step = reader->ReadU64();
+  if (!reader->ok()) {
+    return util::Status::DataLoss("truncated optimizer state");
+  }
+  if (count != params_.size()) {
+    return util::Status::InvalidArgument(
+        "optimizer state has " + std::to_string(count) +
+        " parameters, this optimizer has " +
+        std::to_string(params_.size()));
+  }
+  // Stage everything before committing so a bad blob cannot leave the
+  // optimizer (or the model sharing the parameter storage) half-restored.
+  std::vector<std::vector<float>> weights(count), m(count), v(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    weights[i] = reader->ReadFloatVector();
+    m[i] = reader->ReadFloatVector();
+    v[i] = reader->ReadFloatVector();
+    if (!reader->ok()) {
+      return util::Status::DataLoss("truncated optimizer state");
+    }
+    if (weights[i].size() != params_[i].size() ||
+        m[i].size() != params_[i].size() ||
+        v[i].size() != params_[i].size()) {
+      return util::Status::InvalidArgument(
+          "optimizer state size mismatch for parameter " +
+          std::to_string(i));
+    }
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::memcpy(params_[i].data(), weights[i].data(),
+                weights[i].size() * sizeof(float));
+    m_[i] = std::move(m[i]);
+    v_[i] = std::move(v[i]);
+  }
+  step_ = static_cast<int64_t>(step);
+  return util::Status::OK();
 }
 
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace infuserki::tensor {
 
@@ -47,6 +49,20 @@ class AdamW : public Optimizer {
   AdamW(std::vector<Tensor> params, Options options);
 
   void Step() override;
+
+  /// Appends the full optimizer state — parameter values, first/second
+  /// moments, and the bias-correction step counter — to `writer`,
+  /// positionally (parameter i of the writing optimizer restores into
+  /// parameter i of the reading one). Hyperparameters are not serialized;
+  /// the learning rate is re-derived by the caller's schedule.
+  void Serialize(util::BinaryWriter* writer) const;
+
+  /// Restores state written by Serialize() into this optimizer's parameters
+  /// (writing through the shared tensor storage, i.e. into the model) and
+  /// moments. Transactional: everything is read and shape-checked against
+  /// the current parameter list before any value is committed, so a failed
+  /// load leaves parameters and moments untouched.
+  util::Status Deserialize(util::BinaryReader* reader);
 
   /// Learning-rate override for warmup/decay schedules.
   void set_lr(float lr) { options_.lr = lr; }

@@ -1,0 +1,57 @@
+#ifndef INFUSERKI_UTIL_ATOMIC_FILE_H_
+#define INFUSERKI_UTIL_ATOMIC_FILE_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace infuserki::util {
+
+/// Publishes `contents` at `path` atomically: the bytes are written to
+/// `path.tmp`, flushed and fsync'd, then renamed over `path`, so readers
+/// only ever observe the old file or the complete new one — never a torn
+/// write. The named failpoint is hit once per attempt, and transient
+/// failures (injected or real kInternal I/O errors) are retried with
+/// exponential backoff.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const std::string& fault_point = "io/atomic_write",
+                       const RetryOptions& retry = {});
+
+/// Buffered convenience wrapper around WriteFileAtomic for call sites that
+/// build output incrementally: stream into `stream()`, then Commit() once.
+/// Nothing touches the filesystem until Commit(); a destroyed, uncommitted
+/// writer leaves no trace on disk.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path,
+                            std::string fault_point = "io/atomic_write")
+      : path_(std::move(path)), fault_point_(std::move(fault_point)) {}
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::ostream& stream() { return buffer_; }
+  const std::string& path() const { return path_; }
+
+  /// Writes the buffered bytes via WriteFileAtomic. Call at most once.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string fault_point_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// Moves an unusable file aside to `path + ".corrupt"` (overwriting any
+/// previous quarantine of the same path) so it can be inspected post-mortem
+/// without being picked up by loaders again. Records the event in the obs
+/// run lineage. Returns NotFound if `path` does not exist.
+Status QuarantineFile(const std::string& path);
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,21 @@
+#ifndef INFUSERKI_UTIL_CRC32_H_
+#define INFUSERKI_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace infuserki::util {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `size` bytes.
+/// Pass a previous result as `seed` to checksum data incrementally:
+///   crc = Crc32(a, na); crc = Crc32(b, nb, crc);  // == Crc32(a+b)
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace infuserki::util
+
+#endif  // INFUSERKI_UTIL_CRC32_H_

@@ -1,0 +1,179 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace infuserki::util {
+namespace {
+
+/// Parses the `@N` / `@N+` suffix of fail/crash modes.
+bool ParseNth(const std::string& text, uint64_t* n, bool* from) {
+  if (text.empty()) return false;
+  std::string digits = text;
+  *from = false;
+  if (digits.back() == '+') {
+    *from = true;
+    digits.pop_back();
+  }
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value == 0) return false;
+  *n = value;
+  return true;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Get() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  const char* env = std::getenv("INFUSERKI_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status status = Configure(env);
+    if (!status.ok()) {
+      LOG_WARNING << "INFUSERKI_FAULTS: " << status;
+    } else {
+      LOG_INFO << "fault injection armed from INFUSERKI_FAULTS: " << env;
+    }
+  }
+}
+
+Status FaultRegistry::Configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& raw : Split(spec, ";,")) {
+    std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry missing '=': " +
+                                     entry);
+    }
+    std::string name = entry.substr(0, eq);
+    std::string mode = entry.substr(eq + 1);
+    if (mode == "off") {
+      points_.erase(name);
+      continue;
+    }
+    Point point;
+    if (StartsWith(mode, "fail@")) {
+      bool from = false;
+      if (!ParseNth(mode.substr(5), &point.n, &from)) {
+        return Status::InvalidArgument("bad fail@ count in: " + entry);
+      }
+      point.mode = from ? Mode::kFailFrom : Mode::kFailNth;
+    } else if (StartsWith(mode, "crash@")) {
+      bool from = false;
+      if (!ParseNth(mode.substr(6), &point.n, &from) || from) {
+        return Status::InvalidArgument("bad crash@ count in: " + entry);
+      }
+      point.mode = Mode::kCrashNth;
+    } else if (StartsWith(mode, "prob:")) {
+      std::vector<std::string> parts = Split(mode.substr(5), ":");
+      if (parts.empty() || parts.size() > 2) {
+        return Status::InvalidArgument("bad prob: spec in: " + entry);
+      }
+      char* end = nullptr;
+      point.probability = std::strtod(parts[0].c_str(), &end);
+      if (end == parts[0].c_str() || point.probability < 0.0 ||
+          point.probability > 1.0) {
+        return Status::InvalidArgument("bad probability in: " + entry);
+      }
+      uint64_t seed = 0;
+      if (parts.size() == 2) {
+        seed = static_cast<uint64_t>(std::strtoull(parts[1].c_str(),
+                                                   nullptr, 10));
+      }
+      point.mode = Mode::kProbabilistic;
+      point.stream.seed(seed);
+    } else {
+      return Status::InvalidArgument("unknown fault mode: " + entry);
+    }
+    points_[name] = std::move(point);
+  }
+  active_.store(!points_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultRegistry::Hit(const std::string& point) {
+  if (!active()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return Status::OK();
+  Point& p = it->second;
+  ++p.hit_count;
+  bool fire = false;
+  switch (p.mode) {
+    case Mode::kFailNth:
+      fire = p.hit_count == p.n;
+      break;
+    case Mode::kFailFrom:
+      fire = p.hit_count >= p.n;
+      break;
+    case Mode::kProbabilistic: {
+      std::bernoulli_distribution dist(p.probability);
+      fire = dist(p.stream);
+      break;
+    }
+    case Mode::kCrashNth:
+      if (p.hit_count == p.n) {
+        LOG_ERROR << "failpoint " << point << ": injected crash on hit "
+                  << p.hit_count << " (exit " << kFaultCrashExitCode << ")";
+        std::_Exit(kFaultCrashExitCode);
+      }
+      break;
+  }
+  if (fire) {
+    LOG_WARNING << "failpoint " << point << ": injected failure on hit "
+                << p.hit_count;
+    return Status::Internal("injected fault at " + point + " (hit " +
+                            std::to_string(p.hit_count) + ")");
+  }
+  return Status::OK();
+}
+
+uint64_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hit_count;
+}
+
+Status RetryWithBackoff(const std::function<Status()>& fn,
+                        const RetryOptions& options,
+                        const std::string& what) {
+  Status status;
+  double delay_ms = static_cast<double>(options.base_delay_ms);
+  for (int attempt = 1;; ++attempt) {
+    status = fn();
+    if (status.ok() || status.code() != StatusCode::kInternal ||
+        attempt >= options.max_attempts) {
+      return status;
+    }
+    LOG_WARNING << "transient failure" << (what.empty() ? "" : " (" + what +
+                                                              ")")
+                << ", attempt " << attempt << "/" << options.max_attempts
+                << ": " << status << "; retrying in " << delay_ms << "ms";
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+    delay_ms *= options.multiplier;
+  }
+}
+
+}  // namespace infuserki::util

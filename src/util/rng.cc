@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 namespace infuserki::util {
 
@@ -27,6 +28,23 @@ bool Rng::Bernoulli(double p) {
 }
 
 Rng Rng::Fork() { return Rng(engine_()); }
+
+std::string Rng::SaveState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::RestoreState(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 engine;
+  is >> engine;
+  if (is.fail()) {
+    return Status::InvalidArgument("unparseable rng state");
+  }
+  engine_ = engine;
+  return Status::OK();
+}
 
 std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
   CHECK_LE(k, n);

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace infuserki::util {
 
@@ -35,6 +37,16 @@ class Rng {
 
   /// Returns a new independent generator derived from this one's stream.
   Rng Fork();
+
+  /// Serializes the full engine state (the exact mt19937_64 stream
+  /// position), so a restored generator continues the identical sequence.
+  /// Used by training-state checkpoints for bit-exact resume.
+  std::string SaveState() const;
+
+  /// Restores a state captured by SaveState(). The input is parsed and
+  /// validated before the engine is touched; on error the generator is
+  /// left unchanged.
+  Status RestoreState(const std::string& state);
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -1,0 +1,96 @@
+#include "util/serialize.h"
+
+#include <fstream>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace infuserki::util {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t PeekU32(const char* data) {
+  uint32_t v;
+  std::memcpy(&v, data, sizeof(v));
+  return v;
+}
+
+uint64_t PeekU64(const char* data) {
+  uint64_t v;
+  std::memcpy(&v, data, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(std::string path, std::string fault_point)
+    : path_(std::move(path)), fault_point_(std::move(fault_point)) {}
+
+Status BinaryWriter::Finish() {
+  CHECK(!finished_) << "BinaryWriter::Finish() called twice for " << path_;
+  finished_ = true;
+  std::string file;
+  file.reserve(kFrameHeaderSize + payload_.size() + kFrameFooterSize);
+  AppendU32(&file, kFrameFileMagic);
+  AppendU32(&file, kFrameFormatVersion);
+  file += payload_;
+  AppendU64(&file, payload_.size());
+  AppendU32(&file, Crc32(payload_));
+  AppendU32(&file, kFrameFooterMagic);
+  return WriteFileAtomic(path_, file, fault_point_);
+}
+
+BinaryReader::BinaryReader(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    status_ = Status::NotFound("cannot open " + path);
+    return;
+  }
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    status_ = Status::DataLoss("read error on " + path);
+    return;
+  }
+  if (file.size() < kFrameHeaderSize + kFrameFooterSize) {
+    status_ = Status::DataLoss("file too short to be framed: " + path);
+    return;
+  }
+  if (PeekU32(file.data()) != kFrameFileMagic) {
+    status_ = Status::DataLoss("bad frame magic in " + path);
+    return;
+  }
+  if (PeekU32(file.data() + 4) != kFrameFormatVersion) {
+    status_ = Status::DataLoss("unsupported frame version in " + path);
+    return;
+  }
+  const char* footer =
+      file.data() + file.size() - kFrameFooterSize;
+  if (PeekU32(footer + 12) != kFrameFooterMagic) {
+    status_ = Status::DataLoss("bad frame footer in " + path);
+    return;
+  }
+  const uint64_t payload_size = PeekU64(footer);
+  if (payload_size !=
+      file.size() - kFrameHeaderSize - kFrameFooterSize) {
+    status_ = Status::DataLoss("frame size mismatch in " + path);
+    return;
+  }
+  const uint32_t stored_crc = PeekU32(footer + 8);
+  payload_ = file.substr(kFrameHeaderSize, payload_size);
+  if (Crc32(payload_) != stored_crc) {
+    payload_.clear();
+    status_ = Status::DataLoss("checksum mismatch in " + path);
+    return;
+  }
+}
+
+}  // namespace infuserki::util

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "tensor/checkpoint.h"
 #include "tensor/nn.h"

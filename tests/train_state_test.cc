@@ -1,0 +1,307 @@
+// Checkpoint/resume correctness for the training loop: optimizer state
+// round trips, RNG stream continuation, snapshot rotation, fallback from a
+// corrupt snapshot, and the headline property — a run interrupted by an
+// injected fault and resumed is bit-identical to an uninterrupted one.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "model/pretrain.h"
+#include "model/train_state.h"
+#include "model/trainer.h"
+#include "model/transformer.h"
+#include "tensor/optimizer.h"
+#include "text/tokenizer.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace infuserki::model {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(AdamWState, RoundTripRestoresWeightsMomentsAndStep) {
+  util::Rng rng(7);
+  tensor::Tensor a = tensor::Tensor::Randn({4, 3}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({5}, &rng);
+  tensor::AdamW source({a, b}, {.lr = 0.01f});
+  // Two steps with distinct gradients so both moments are non-trivial.
+  for (float g : {0.5f, -0.25f}) {
+    a.impl()->grad.assign(a.size(), g);
+    b.impl()->grad.assign(b.size(), -g);
+    source.Step();
+  }
+
+  std::string path = ::testing::TempDir() + "/adamw_state.bin";
+  util::BinaryWriter writer(path);
+  source.Serialize(&writer);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  util::Rng other(1234);  // different init: restore must overwrite it
+  tensor::Tensor a2 = tensor::Tensor::Randn({4, 3}, &other);
+  tensor::Tensor b2 = tensor::Tensor::Randn({5}, &other);
+  tensor::AdamW restored({a2, b2}, {.lr = 0.01f});
+  util::BinaryReader reader(path);
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+
+  EXPECT_EQ(restored.step_count(), source.step_count());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a2.vec()[i], a.vec()[i]);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b2.vec()[i], b.vec()[i]);
+
+  // Identical next step: the bias-correction counter and both moments must
+  // have survived, or these trajectories diverge immediately.
+  a.impl()->grad.assign(a.size(), 0.125f);
+  b.impl()->grad.assign(b.size(), 0.125f);
+  a2.impl()->grad.assign(a2.size(), 0.125f);
+  b2.impl()->grad.assign(b2.size(), 0.125f);
+  source.Step();
+  restored.Step();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a2.vec()[i], a.vec()[i]);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b2.vec()[i], b.vec()[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(AdamWState, DeserializeRejectsParameterCountMismatch) {
+  util::Rng rng(7);
+  tensor::Tensor a = tensor::Tensor::Randn({4}, &rng);
+  tensor::AdamW one({a}, {});
+  std::string path = ::testing::TempDir() + "/adamw_mismatch.bin";
+  util::BinaryWriter writer(path);
+  one.Serialize(&writer);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  tensor::Tensor b = tensor::Tensor::Randn({4}, &rng);
+  tensor::Tensor c = tensor::Tensor::Randn({4}, &rng);
+  std::vector<float> before = b.vec();
+  tensor::AdamW two({b, c}, {});
+  util::BinaryReader reader(path);
+  EXPECT_FALSE(two.Deserialize(&reader).ok());
+  // Transactional: the failed load touched nothing.
+  EXPECT_EQ(b.vec(), before);
+  std::filesystem::remove(path);
+}
+
+TEST(TrainState, SaveLoadRoundTripContinuesRngStream) {
+  util::Rng rng(21);
+  tensor::Tensor a = tensor::Tensor::Randn({3}, &rng);
+  tensor::AdamW optimizer({a}, {});
+
+  util::Rng stream(99);
+  (void)stream.UniformInt(0, 1000);  // advance past the seed state
+  TrainState state;
+  state.next_step = 40;
+  state.total_steps = 120;
+  state.order = {2, 0, 1, 3};
+  state.cursor = 3;
+  state.losses = {1.5f, 1.25f, 1.0f};
+  state.rng_state = stream.SaveState();
+
+  std::string path = ::testing::TempDir() + "/train_state.bin";
+  ASSERT_TRUE(SaveTrainState(path, state, optimizer).ok());
+
+  TrainState loaded;
+  tensor::AdamW fresh({a}, {});
+  ASSERT_TRUE(LoadTrainState(path, &loaded, &fresh).ok());
+  EXPECT_EQ(loaded.next_step, state.next_step);
+  EXPECT_EQ(loaded.total_steps, state.total_steps);
+  EXPECT_EQ(loaded.order, state.order);
+  EXPECT_EQ(loaded.cursor, state.cursor);
+  EXPECT_EQ(loaded.losses, state.losses);
+
+  // The restored generator continues the exact stream of the original.
+  util::Rng resumed(0);
+  ASSERT_TRUE(resumed.RestoreState(loaded.rng_state).ok());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(resumed.UniformInt(0, 1 << 30), stream.UniformInt(0, 1 << 30));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TrainState, RestoreStateRejectsGarbage) {
+  util::Rng rng(5);
+  int64_t probe = rng.UniformInt(0, 1 << 20);
+  util::Rng twin(5);
+  EXPECT_FALSE(twin.RestoreState("not an engine state").ok());
+  // The failed restore left the engine untouched.
+  EXPECT_EQ(twin.UniformInt(0, 1 << 20), probe);
+}
+
+/// Fixture building two identical tiny models + trainers on demand.
+struct ResumeRig {
+  TransformerConfig config;
+  text::Tokenizer tokenizer;
+  std::vector<LmExample> examples;
+
+  ResumeRig() {
+    config.dim = 16;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.ffn_hidden = 32;
+    std::vector<std::string> docs = {
+        "paris is the capital of france",
+        "rome is the capital of italy",
+        "berlin is the capital of germany",
+        "madrid is the capital of spain",
+        "lisbon is the capital of portugal",
+    };
+    tokenizer = text::Tokenizer::Build(docs);
+    config.vocab_size = tokenizer.vocab_size();
+    for (const std::string& doc : docs) {
+      examples.push_back(MakePlainExample(tokenizer, doc));
+    }
+  }
+
+  std::unique_ptr<TransformerLM> MakeModel() const {
+    util::Rng init(3);
+    return std::make_unique<TransformerLM>(config, &init);
+  }
+
+  static LmTrainer MakeTrainer(TransformerLM* lm) {
+    LmTrainer::Options options;
+    options.lr = 1e-3f;
+    options.batch_size = 2;
+    options.seed = 31;
+    return LmTrainer(lm, lm->Parameters(), options);
+  }
+};
+
+void ExpectBitIdentical(const TransformerLM& a, const TransformerLM& b) {
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].name, pb[i].name);
+    const std::vector<float>& va = pa[i].tensor.vec();
+    const std::vector<float>& vb = pb[i].tensor.vec();
+    ASSERT_EQ(va.size(), vb.size()) << pa[i].name;
+    for (size_t j = 0; j < va.size(); ++j) {
+      ASSERT_EQ(va[j], vb[j]) << pa[i].name << "[" << j << "]";
+    }
+  }
+}
+
+TEST(ResumeDeterminism, InterruptedRunResumesBitExactly) {
+  ResumeRig rig;
+  const size_t steps = 40;
+
+  // Reference: uninterrupted run with checkpointing enabled (snapshot
+  // writes must not perturb training).
+  CheckpointPolicy policy_a{.dir = FreshDir("resume_a"), .every_n_steps = 10};
+  auto lm_a = rig.MakeModel();
+  LmTrainer trainer_a = ResumeRig::MakeTrainer(lm_a.get());
+  float loss_a = trainer_a.TrainSteps(rig.examples, steps, {}, policy_a);
+
+  // Interrupted run: the injected fault stops the loop at step 24 (hit #25),
+  // after snapshots at steps 10 and 20.
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  ASSERT_TRUE(faults.Configure("trainer/step=fail@25").ok());
+  CheckpointPolicy policy_b{.dir = FreshDir("resume_b"), .every_n_steps = 10};
+  auto lm_b = rig.MakeModel();
+  LmTrainer trainer_b = ResumeRig::MakeTrainer(lm_b.get());
+  (void)trainer_b.TrainSteps(rig.examples, steps, {}, policy_b);
+  faults.Clear();
+
+  // Resume: the second call restores step 20's snapshot (weights, moments,
+  // RNG stream, visit order) and finishes the run.
+  float loss_b = trainer_b.TrainSteps(rig.examples, steps, {}, policy_b);
+
+  EXPECT_EQ(loss_a, loss_b);
+  ExpectBitIdentical(*lm_a, *lm_b);
+  std::filesystem::remove_all(policy_a.dir);
+  std::filesystem::remove_all(policy_b.dir);
+}
+
+TEST(ResumeDeterminism, CorruptNewestSnapshotFallsBackToOlder) {
+  ResumeRig rig;
+  const size_t steps = 40;
+
+  CheckpointPolicy policy_a{.dir = FreshDir("fallback_a"),
+                            .every_n_steps = 10};
+  auto lm_a = rig.MakeModel();
+  LmTrainer trainer_a = ResumeRig::MakeTrainer(lm_a.get());
+  float loss_a = trainer_a.TrainSteps(rig.examples, steps, {}, policy_a);
+
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  ASSERT_TRUE(faults.Configure("trainer/step=fail@25").ok());
+  CheckpointPolicy policy_b{.dir = FreshDir("fallback_b"),
+                            .every_n_steps = 10, .keep_last = 4};
+  auto lm_b = rig.MakeModel();
+  LmTrainer trainer_b = ResumeRig::MakeTrainer(lm_b.get());
+  (void)trainer_b.TrainSteps(rig.examples, steps, {}, policy_b);
+  faults.Clear();
+
+  // Flip one byte in the newest snapshot (step 20): resume must quarantine
+  // it, fall back to step 10, and still converge to the identical result.
+  auto snapshots = ListTrainCheckpoints(policy_b.dir);
+  ASSERT_EQ(snapshots.size(), size_t{2});
+  std::string newest = snapshots.back().second;
+  {
+    std::fstream file(newest,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(40);
+    char byte = 0;
+    file.seekg(40);
+    file.get(byte);
+    file.seekp(40);
+    file.put(static_cast<char>(byte ^ 0x04));
+  }
+
+  float loss_b = trainer_b.TrainSteps(rig.examples, steps, {}, policy_b);
+  EXPECT_EQ(loss_a, loss_b);
+  ExpectBitIdentical(*lm_a, *lm_b);
+  EXPECT_TRUE(std::filesystem::exists(newest + ".corrupt"));
+  std::filesystem::remove_all(policy_a.dir);
+  std::filesystem::remove_all(policy_b.dir);
+}
+
+TEST(TrainState, RotationKeepsOnlyNewest) {
+  ResumeRig rig;
+  CheckpointPolicy policy{.dir = FreshDir("rotate"),
+                          .every_n_steps = 10,
+                          .keep_last = 2,
+                          .resume = false};
+  auto lm = rig.MakeModel();
+  LmTrainer trainer = ResumeRig::MakeTrainer(lm.get());
+  (void)trainer.TrainSteps(rig.examples, 40, {}, policy);
+
+  // Snapshots land at 10, 20, 30 (never at the final step); rotation with
+  // keep_last=2 leaves the newest two.
+  auto snapshots = ListTrainCheckpoints(policy.dir);
+  ASSERT_EQ(snapshots.size(), size_t{2});
+  EXPECT_EQ(snapshots[0].first, uint64_t{20});
+  EXPECT_EQ(snapshots[1].first, uint64_t{30});
+  std::filesystem::remove_all(policy.dir);
+}
+
+TEST(TrainState, MismatchedHorizonIsNotResumed) {
+  ResumeRig rig;
+  CheckpointPolicy policy{.dir = FreshDir("horizon"), .every_n_steps = 10};
+  auto lm = rig.MakeModel();
+  LmTrainer trainer = ResumeRig::MakeTrainer(lm.get());
+  (void)trainer.TrainSteps(rig.examples, 40, {}, policy);
+  ASSERT_FALSE(ListTrainCheckpoints(policy.dir).empty());
+
+  // A run with a different horizon must ignore those snapshots (the cosine
+  // schedule would disagree) and start from scratch — which reaches step 10
+  // and overwrites the old snapshot rather than resuming past it.
+  auto lm2 = rig.MakeModel();
+  LmTrainer trainer2 = ResumeRig::MakeTrainer(lm2.get());
+  CheckpointPolicy policy2 = policy;
+  (void)trainer2.TrainSteps(rig.examples, 20, {}, policy2);
+  std::filesystem::remove_all(policy.dir);
+}
+
+}  // namespace
+}  // namespace infuserki::model
