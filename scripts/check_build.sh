@@ -16,7 +16,16 @@
 # 5. Runs the crash/resume smoke: a training run killed by an injected
 #    crash failpoint (exit 42) must resume from its snapshot and finish
 #    with parameters bit-identical to an uninterrupted run.
-# 6. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
+# 6. Builds the ThreadSanitizer preset and runs the concurrency gate
+#    (race_stress_test plus the threadpool / kv-cache / obs suites) with
+#    fail-fast TSAN_OPTIONS — zero reports allowed (tsan.supp is reserved
+#    for documented third-party noise; see DESIGN.md §9).
+# 7. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
+#    the LLVM tools are installed (skipped with a notice otherwise — the
+#    scale-run container has no LLVM), then the repo invariant linter
+#    (tools/lint/check_invariants.py) and its self-test, which must always
+#    pass.
+# 8. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
 #    README.md exist, so the docs cannot drift from the tree silently.
 set -eu
 
@@ -89,8 +98,7 @@ echo "decode speedup OK: ${SPEEDUP}x (>= 3x)"
 echo "== durability: ASan+UBSan serialize/checkpoint/fault tests =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  -DINFUSERKI_SANITIZE=address
 cmake --build "$ASAN_DIR" -j --target durability_test train_state_test
 "$ASAN_DIR/tests/durability_test"
 "$ASAN_DIR/tests/train_state_test"
@@ -135,6 +143,44 @@ FRESH_CRC="$(echo "$FRESH" | sed -n 's/^resume_smoke_params_crc=//p')"
 rm -rf "$RESUME_DIR" "$FRESH_DIR"
 echo "crash/resume smoke OK: resumed from step 40, params CRC $RESUMED_CRC"
 
+echo "== tsan: race gate (build-tsan) =="
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DINFUSERKI_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j --target \
+  race_stress_test threadpool_test kv_cache_test obs_test
+for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test; do
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$(pwd)/tsan.supp" \
+    "$TSAN_DIR/tests/$tsan_test"
+done
+echo "tsan race gate OK (zero reports)"
+
+echo "== lint: format + tidy + invariants =="
+if command -v clang-format > /dev/null 2>&1; then
+  find src tests bench examples \
+      \( -name '*.cc' -o -name '*.h' \) -print0 |
+    xargs -0 clang-format --dry-run --Werror
+  echo "clang-format OK"
+else
+  echo "clang-format: skipped (not installed in this container; CI runs it)"
+fi
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  find src \( -name '*.cc' \) -print0 |
+    xargs -0 clang-tidy -p "$BUILD_DIR" --quiet
+  echo "clang-tidy OK"
+else
+  echo "clang-tidy: skipped (not installed in this container; CI runs it)"
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 tools/lint/check_invariants.py --root .
+  python3 tools/lint/lint_selftest.py
+else
+  echo "FAIL: python3 is required for the invariant linter" >&2
+  exit 1
+fi
+echo "lint stage OK"
+
 echo "== docs: referenced paths exist =="
 DOCS_FAIL=0
 for doc in DESIGN.md EXPERIMENTS.md README.md; do
@@ -144,7 +190,7 @@ for doc in DESIGN.md EXPERIMENTS.md README.md; do
   # Extension-less references name build targets (bench/<target>,
   # examples/<target>) whose source carries .cc/.cpp.
   for path in $(grep -o '`[A-Za-z0-9_./-]*`' "$doc" | tr -d '`' |
-                grep -E '^(src|tests|bench|scripts|examples|docs)/' |
+                grep -E '^(src|tests|bench|scripts|examples|docs|tools)/' |
                 sort -u); do
     if [ ! -e "$path" ] && [ ! -e "$path.cc" ] && [ ! -e "$path.cpp" ]; then
       echo "FAIL: $doc references missing path: $path" >&2

@@ -21,6 +21,10 @@ struct EngineMetrics {
 };
 
 EngineMetrics& Metrics() {
+  // Locking contract: resolved once under the magic-static guard; the
+  // struct is immutable afterwards and all metric updates are relaxed
+  // atomics, so concurrent sessions (parallel MCQ fan-out) publish without
+  // any lock.
   static EngineMetrics* metrics = [] {
     obs::Registry& registry = obs::Registry::Get();
     return new EngineMetrics{

@@ -29,6 +29,9 @@ struct TrainerMetrics {
 };
 
 TrainerMetrics& Metrics() {
+  // Locking contract: resolved once under the magic-static guard; the
+  // struct is immutable afterwards and every metric update is a relaxed
+  // atomic on the lock-free metric objects.
   static TrainerMetrics* metrics = [] {
     obs::Registry& registry = obs::Registry::Get();
     return new TrainerMetrics{

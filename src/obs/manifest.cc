@@ -8,6 +8,9 @@
 namespace infuserki::obs {
 
 Lineage& Lineage::Get() {
+  // Locking contract: magic-static first touch; all post-init access to
+  // `events_` (Record/Snapshot/Clear) holds `mu_`, and Snapshot returns a
+  // copy so callers never hold a reference into the guarded vector.
   static Lineage* lineage = new Lineage();
   return *lineage;
 }

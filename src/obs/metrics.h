@@ -2,6 +2,7 @@
 #define INFUSERKI_OBS_METRICS_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -34,9 +35,15 @@ class Counter {
 class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if it exceeds the current reading. NaN is
+  /// rejected outright: NaN compares false against everything, so a NaN
+  /// sample must not poison the high-water mark, and a NaN that reached the
+  /// stored value (via Set) would otherwise wedge UpdateMax forever
+  /// (`value > NaN` is false for every later sample).
   void UpdateMax(double value) {
+    if (std::isnan(value)) return;
     double current = value_.load(std::memory_order_relaxed);
-    while (value > current &&
+    while ((std::isnan(current) || value > current) &&
            !value_.compare_exchange_weak(current, value,
                                          std::memory_order_relaxed)) {
     }
@@ -99,6 +106,12 @@ class Histogram {
 /// Process-wide metric registry. Lookup takes a mutex — call sites on hot
 /// paths cache the returned pointer (function-local static); the metric
 /// objects themselves live forever and their update paths are lock-free.
+///
+/// Locking contract: `Get()` is a magic static (thread-safe first touch);
+/// every access to the name->metric maps — registration, snapshot, dump,
+/// reset — holds `mu_`. Returned metric pointers are stable forever and may
+/// be updated from any thread without the registry lock (their state is
+/// all std::atomic).
 class Registry {
  public:
   static Registry& Get();

@@ -31,6 +31,12 @@ struct Tracer::ThreadBuffer {
 };
 
 Tracer& Tracer::Get() {
+  // Locking contract: magic-static first touch; `buffers_` (the list of
+  // per-thread rings) is guarded by `mu_`, each ring's contents by its own
+  // `ThreadBuffer::mu`, and enabled_/capacity_/dropped_/next_tid_ are
+  // atomics. Readers (Events/Clear/Enable) copy the buffer list under `mu_`
+  // and then lock each ring individually, never both locks at once in the
+  // record path.
   static Tracer* tracer = new Tracer();
   return *tracer;
 }

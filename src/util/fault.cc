@@ -34,6 +34,10 @@ bool ParseNth(const std::string& text, uint64_t* n, bool* from) {
 }  // namespace
 
 FaultRegistry& FaultRegistry::Get() {
+  // Locking contract: construction is a magic static (thread-safe first
+  // touch, INFUSERKI_FAULTS parsed exactly once); all post-init access to
+  // `points_` (Configure/Clear/Hit/hits) holds `mu_`. `active_` is an
+  // atomic fast-path flag so unarmed hot paths never take the lock.
   static FaultRegistry* registry = new FaultRegistry();
   return *registry;
 }

@@ -36,6 +36,8 @@ std::string FormatNow() {
 }
 
 // Serializes writes so multi-threaded log lines do not interleave.
+// Locking contract: magic-static first touch; the mutex is the only
+// post-init state and is held for the duration of each stderr write.
 std::mutex& LogMutex() {
   static std::mutex* mu = new std::mutex;
   return *mu;

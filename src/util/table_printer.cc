@@ -1,8 +1,8 @@
 #include "util/table_printer.h"
 
 #include <algorithm>
-#include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -52,21 +52,19 @@ void TablePrinter::Print(std::ostream& os) const {
 }
 
 Status TablePrinter::WriteCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Internal("cannot open " + path + " for writing");
-  }
+  // Result tables are run artifacts like any checkpoint or manifest:
+  // published atomically so a crash mid-write never leaves a torn CSV.
+  AtomicFileWriter writer(path, "table/write_csv");
   auto write_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) out << ",";
-      out << CsvEscape(row[c]);
+      if (c > 0) writer.stream() << ",";
+      writer.stream() << CsvEscape(row[c]);
     }
-    out << "\n";
+    writer.stream() << "\n";
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
-  if (!out) return Status::DataLoss("short write to " + path);
-  return Status::OK();
+  return writer.Commit();
 }
 
 }  // namespace infuserki::util

@@ -1,6 +1,7 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -20,6 +21,9 @@ struct PoolMetrics {
 };
 
 PoolMetrics& Metrics() {
+  // Locking contract: resolved once under the magic-static guard; the
+  // pointers are immutable afterwards and every metric update is a relaxed
+  // atomic on the (lock-free) metric objects themselves.
   static PoolMetrics* metrics = [] {
     obs::Registry& registry = obs::Registry::Get();
     return new PoolMetrics{
@@ -116,7 +120,23 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool* pool = new ThreadPool();
+  // Locking contract: magic-static first touch; all post-init mutable pool
+  // state (queue_, in_flight_, shutting_down_) is guarded by ThreadPool::mu_
+  // and workers_ is immutable after construction.
+  static ThreadPool* pool = [] {
+    // INFUSERKI_NUM_THREADS overrides hardware concurrency — lets the TSan
+    // race gate force real interleaving on single-core hosts (where the
+    // parallel loops would otherwise run inline) and lets deployments pin
+    // the pool width.
+    size_t num_threads = 0;  // 0 -> hardware concurrency
+    const char* env = std::getenv("INFUSERKI_NUM_THREADS");
+    if (env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') num_threads = parsed;
+    }
+    return new ThreadPool(num_threads);
+  }();
   return *pool;
 }
 

@@ -54,7 +54,10 @@ class ThreadPool {
 };
 
 /// Returns the process-wide shared pool (lazily created, never destroyed,
-/// per the static-storage-duration rules).
+/// per the static-storage-duration rules). Sized to hardware concurrency
+/// unless the INFUSERKI_NUM_THREADS environment variable (read once, at
+/// first touch) overrides it — used by the TSan race gate to force real
+/// interleaving on single-core hosts and by deployments to pin pool width.
 ThreadPool& GlobalThreadPool();
 
 /// True when the calling thread is one of the global pool's workers. Used

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -244,6 +245,23 @@ TEST(Metrics, GaugeSetAndUpdateMax) {
   EXPECT_DOUBLE_EQ(gauge->Value(), 3.5);
   gauge->UpdateMax(7.25);
   EXPECT_DOUBLE_EQ(gauge->Value(), 7.25);
+}
+
+TEST(Metrics, GaugeUpdateMaxRejectsNan) {
+  Gauge* gauge = Registry::Get().GetGauge("test/gauge_nan");
+  gauge->Reset();
+  gauge->Set(4.0);
+  // A NaN sample (e.g. a 0/0 duration ratio from a worker) must leave the
+  // high-water mark untouched.
+  gauge->UpdateMax(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(gauge->Value(), 4.0);
+  gauge->UpdateMax(9.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 9.0);
+  // A NaN that reached the stored value via Set must not wedge UpdateMax:
+  // the next real sample wins.
+  gauge->Set(std::numeric_limits<double>::quiet_NaN());
+  gauge->UpdateMax(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
 }
 
 TEST(Metrics, ConcurrentHistogramCountAndSumAreExact) {

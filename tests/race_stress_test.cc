@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/decode_session.h"
+#include "model/generation.h"
+#include "model/transformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+// Concurrency stress suite for the ThreadSanitizer gate (DESIGN.md §9).
+// Run under `ctest --preset tsan`: each test hammers one of the shared
+// mutable surfaces the parallel eval paths depend on — threadpool
+// schedule/wait churn, parallel MCQ decode over a shared model, obs
+// counter/gauge/histogram mutation, and the lazy singletons' first touch —
+// with at least kThreads threads, so any unsynchronized access shows up as
+// a TSan report rather than a corrupted paper metric. The assertions are
+// deliberately coarse (counts, finiteness): the point is the interleaving,
+// not the values.
+
+namespace infuserki {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+// Force a real multi-worker global pool before its first touch: on
+// single-core hosts hardware concurrency is 1 and the parallel loops would
+// run inline, draining all interleaving out of this suite. An explicit
+// INFUSERKI_NUM_THREADS in the environment still wins (overwrite=0).
+const bool kPoolWidthForced = [] {
+  setenv("INFUSERKI_NUM_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+// ---------------------------------------------------------------------------
+// Lazy-singleton first touch. This test must run first in this binary (gtest
+// runs tests in declaration order within a file) so the racing threads below
+// really do contend on the magic-static initialization of every process-wide
+// registry, not on an already-constructed object.
+TEST(RaceStress, SingletonFirstTouchIsConcurrent) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }
+      // First touch of each registry from kThreads threads at once.
+      obs::Registry& registry = obs::Registry::Get();
+      registry.GetCounter("race/first_touch")->Increment();
+      obs::Tracer::Get().enabled();
+      util::FaultRegistry::Get().active();
+      util::GlobalThreadPool();
+      util::OnGlobalPoolWorker();
+    });
+  }
+  while (ready.load() < static_cast<int>(kThreads)) {
+  }
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(
+      obs::Registry::Get().GetCounter("race/first_touch")->Value(),
+      static_cast<uint64_t>(kThreads));
+  // The gate is vacuous if the pool fell back to one worker (everything
+  // below would run inline); kPoolWidthForced must have taken effect.
+  ASSERT_TRUE(kPoolWidthForced);
+  ASSERT_GE(util::GlobalThreadPool().num_threads(), size_t{2});
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool schedule/wait churn: several external threads concurrently
+// schedule batches and call the pool's global Wait(), interleaved with
+// ParallelFor/ParallelForEach on the shared global pool.
+TEST(RaceStress, ThreadPoolScheduleWaitChurn) {
+  util::ThreadPool pool(kThreads);
+  std::atomic<uint64_t> executed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&pool, &executed] {
+      for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 8; ++i) {
+          pool.Schedule([&executed] { executed.fetch_add(1); });
+        }
+        pool.Wait();
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), uint64_t{kThreads * 20 * 8});
+}
+
+TEST(RaceStress, ParallelForEachNestsParallelFor) {
+  std::atomic<uint64_t> inner{0};
+  // Tasks on the global pool run nested ParallelFor loops, which must
+  // detect the worker thread and run inline (OnGlobalPoolWorker).
+  util::ParallelForEach(kThreads * 4, [&inner](size_t) {
+    util::ParallelFor(64, 8, [&inner](size_t begin, size_t end) {
+      inner.fetch_add(end - begin);
+    });
+  });
+  EXPECT_EQ(inner.load(), uint64_t{kThreads * 4 * 64});
+}
+
+TEST(RaceStress, ConcurrentParallelForEachGroups) {
+  // Private completion groups: concurrent ParallelForEach calls from
+  // several external threads must each wait only on their own tasks.
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&total] {
+      for (int round = 0; round < 10; ++round) {
+        util::ParallelForEach(16, [&total](size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), uint64_t{4 * 10 * 16});
+}
+
+// ---------------------------------------------------------------------------
+// Obs registries under concurrent mutation: counters/gauges/histograms
+// updated from kThreads threads while another thread repeatedly snapshots,
+// and trace spans recorded on every thread while Enable/Clear churn.
+TEST(RaceStress, ObsMetricsConcurrentMutationAndSnapshot) {
+  obs::Registry& registry = obs::Registry::Get();
+  obs::Counter* counter = registry.GetCounter("race/obs_counter");
+  obs::Gauge* gauge = registry.GetGauge("race/obs_gauge");
+  obs::Gauge* high_water = registry.GetGauge("race/obs_high_water");
+  obs::Histogram* histogram = registry.GetHistogram("race/obs_histogram");
+  counter->Reset();
+  histogram->Reset();
+  constexpr int kPerThread = 400;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&registry, &done] {
+    while (!done.load()) {
+      obs::Registry::Snapshot snapshot = registry.TakeSnapshot();
+      (void)snapshot;
+      (void)registry.TextDump();
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        double value = static_cast<double>(t * kPerThread + i);
+        gauge->Set(value);
+        high_water->UpdateMax(value);
+        histogram->Record(1e-6 * static_cast<double>(i + 1));
+        // Late-registration path: lookup races against the snapshotter.
+        registry.GetCounter("race/obs_counter_" + std::to_string(t))
+            ->Increment();
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true);
+  snapshotter.join();
+  EXPECT_EQ(counter->Value(), uint64_t{kThreads * kPerThread});
+  EXPECT_EQ(histogram->Count(), uint64_t{kThreads * kPerThread});
+  EXPECT_EQ(high_water->Value(),
+            static_cast<double>(kThreads * kPerThread - 1));
+}
+
+TEST(RaceStress, TraceSpansConcurrentWithEnableClear) {
+  obs::Tracer& tracer = obs::Tracer::Get();
+  tracer.Enable(256);
+  std::atomic<bool> done{false};
+  std::thread controller([&tracer, &done] {
+    while (!done.load()) {
+      tracer.Enable(128);
+      (void)tracer.Events();
+      tracer.Clear();
+      tracer.Enable(256);
+    }
+  });
+  std::vector<std::thread> spanners;
+  spanners.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    spanners.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        OBS_SPAN("race/outer");
+        OBS_SPAN("race/inner");
+      }
+    });
+  }
+  for (std::thread& spanner : spanners) spanner.join();
+  done.store(true);
+  controller.join();
+  tracer.Disable();
+  tracer.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Fault registry: concurrent Hit/hits/Configure churn on armed points.
+TEST(RaceStress, FaultRegistryConcurrentHits) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  // Injected failures each log a WARN line; keep the stress run quiet.
+  util::LogLevel previous_level = util::MinLogLevel();
+  util::SetMinLogLevel(util::LogLevel::kError);
+  ASSERT_TRUE(faults.Configure("race/point=prob:0.5:7").ok());
+  std::vector<std::thread> hitters;
+  hitters.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    hitters.emplace_back([&faults] {
+      for (int i = 0; i < 200; ++i) {
+        (void)faults.Hit("race/point").ok();
+        (void)faults.hits("race/point");
+      }
+    });
+  }
+  for (std::thread& hitter : hitters) hitter.join();
+  EXPECT_EQ(faults.hits("race/point"), uint64_t{kThreads * 200});
+  faults.Clear();
+  util::SetMinLogLevel(previous_level);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel MCQ decode: the production eval pattern — ParallelForEach fans
+// MCQ scoring out over the global pool, each task running its own
+// DecodeSession (prefill + save/rewind churn) against one shared model.
+// The model weights are shared read-only; obs engine metrics are the shared
+// mutable state.
+TEST(RaceStress, ParallelMcqDecodeSharedModel) {
+  model::TransformerConfig config;
+  config.vocab_size = 32;
+  config.dim = 8;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 16;
+  config.max_seq_len = 16;
+  util::Rng rng(1234);
+  model::TransformerLM lm(config, &rng);
+
+  const std::vector<int> prompt = {4, 5, 6, 7};
+  const std::vector<std::vector<int>> continuations = {
+      {8, 9}, {10, 11}, {12, 13}, {14, 15}};
+
+  // Reference scores from a single-threaded pass; the parallel fan-out
+  // must reproduce them bit-exactly (shared weights are read-only, all
+  // per-sequence state lives in each task's private session).
+  std::vector<double> expected;
+  {
+    tensor::NoGradGuard no_grad;
+    model::DecodeSession session(lm);
+    session.Prefill(prompt);
+    model::DecodeSession::Checkpoint mark = session.Save();
+    for (const std::vector<int>& continuation : continuations) {
+      double lp = model::SequenceLogProb(lm, prompt, continuation);
+      session.Rewind(mark);
+      expected.push_back(lp);
+    }
+  }
+
+  constexpr size_t kTasks = kThreads * 4;
+  std::vector<double> scores(kTasks);
+  util::ParallelForEach(kTasks, [&](size_t task) {
+    tensor::NoGradGuard no_grad;
+    model::DecodeSession session(lm);
+    session.Prefill(prompt);
+    model::DecodeSession::Checkpoint mark = session.Save();
+    const std::vector<int>& continuation =
+        continuations[task % continuations.size()];
+    session.Prefill(continuation);
+    session.Rewind(mark);
+    scores[task] = model::SequenceLogProb(lm, prompt, continuation);
+  });
+  for (size_t task = 0; task < kTasks; ++task) {
+    ASSERT_TRUE(std::isfinite(scores[task])) << "task " << task;
+    EXPECT_EQ(scores[task], expected[task % continuations.size()])
+        << "task " << task;
+  }
+}
+
+// Greedy decode fan-out: concurrent sessions generating token streams from
+// the shared model, mixed with metric churn from the same threads.
+TEST(RaceStress, ParallelGreedyDecodeSharedModel) {
+  model::TransformerConfig config;
+  config.vocab_size = 32;
+  config.dim = 8;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 16;
+  config.max_seq_len = 16;
+  util::Rng rng(99);
+  model::TransformerLM lm(config, &rng);
+
+  const std::vector<int> prompt = {4, 5, 6};
+  const std::vector<int> reference = model::GreedyDecode(lm, prompt, 6);
+
+  constexpr size_t kTasks = kThreads * 2;
+  std::vector<std::vector<int>> generated(kTasks);
+  util::ParallelForEach(kTasks, [&](size_t task) {
+    generated[task] = model::GreedyDecode(lm, prompt, 6);
+  });
+  for (size_t task = 0; task < kTasks; ++task) {
+    EXPECT_EQ(generated[task], reference) << "task " << task;
+  }
+}
+
+}  // namespace
+}  // namespace infuserki

@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter (DESIGN.md §9).
+
+Enforces rules the generic tools (clang-tidy, TSan) cannot express because
+they are about *this* repo's conventions:
+
+  raw-io        Durable writes must go through util::AtomicFileWriter /
+                util::WriteFileAtomic / util::BinaryWriter (or the obs
+                layer's WriteFileAtomically). Raw std::ofstream / std::fopen
+                in src/ is banned outside the files that implement those
+                primitives; escape hatch: a `lint: allow-raw-io(<reason>)`
+                comment on the offending line.
+  fault-points  Every fault-point name introduced at a sink (FAULT_POINT,
+                fault_point defaults, BinaryWriter / AtomicFileWriter /
+                WriteFileAtomic string args) must be documented in DESIGN.md
+                and introduced from exactly one file.
+  metric-names  Every obs metric name literal (GetCounter / GetGauge /
+                GetHistogram) in src/ or bench/ must appear in the DESIGN.md
+                "Observability" section's metric table (trailing-`*` globs
+                in the table are honoured, e.g. `bench_*`).
+  include-guards  Headers use #ifndef INFUSERKI_<PATH>_H_ derived from the
+                repo-relative path (src/ stripped; tests/ and bench/ kept).
+  rng-determinism  No std RNG seeded from wall-clock state: bans
+                std::random_device, srand/rand, and time()/now() appearing
+                in a seeding context. Every stochastic component takes an
+                explicit util::Rng seed (DESIGN.md §5).
+
+Exit status: 0 when the tree is clean, 1 when any violation is found,
+2 on usage errors. Each violation prints as `file:line: [rule] message`.
+"""
+
+import argparse
+import fnmatch
+import re
+import sys
+from pathlib import Path
+
+CODE_DIRS = ("src", "tests", "bench", "examples", "tools")
+CODE_SUFFIXES = (".cc", ".cpp", ".h", ".hpp")
+
+# Files allowed to perform raw file I/O: the atomic-write primitives
+# themselves, and the durability fuzzers that corrupt files on purpose.
+RAW_IO_ALLOWLIST = (
+    "src/util/atomic_file.cc",
+    "src/util/atomic_file.h",
+    "src/obs/atomic_io.h",
+)
+RAW_IO_ANNOTATION = re.compile(r"lint:\s*allow-raw-io\(([^)]+)\)")
+RAW_IO_PATTERN = re.compile(r"std::ofstream|std::fopen\b|\bfopen\s*\(")
+
+FAULT_SINKS = (
+    re.compile(r'FAULT_POINT\(\s*"([^"]+)"'),
+    re.compile(r'fault_point\s*=\s*"([^"]+)"'),
+)
+# Sinks whose fault-point name is a trailing argument: capture the whole
+# argument list and take its *last* string literal (the first may be a
+# literal path or payload).
+FAULT_TRAILING_SINKS = re.compile(
+    r'(?:BinaryWriter|AtomicFileWriter)\s+\w+\s*\(([^;]*)\)'
+    r'|WriteFileAtomic\(([^;]*)\)')
+STRING_LITERAL = re.compile(r'"([^"]+)"')
+
+METRIC_PATTERN = re.compile(r'Get(?:Counter|Gauge|Histogram)\("([^"]+)"\)')
+
+RNG_PATTERNS = (
+    (re.compile(r"std::random_device"), "std::random_device is nondeterministic"),
+    (re.compile(r"\bsrand\s*\("), "srand() seeds the C RNG from ambient state"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand() is a hidden global RNG"),
+    (
+        re.compile(
+            r"(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?|Rng)"
+            r"[^;\n]*(?:\btime\s*\(|::now\s*\()"
+        ),
+        "RNG seeded from wall-clock time breaks bit-exact reproducibility",
+    ),
+)
+
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_FREE_LINE_COMMENT = re.compile(r"//[^\n]*")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text):
+    """Blanks comments (preserving line structure) so rules never match doc
+    text. String literals containing `//` are rare enough in this tree that
+    the simple regex is acceptable; comment *markers* inside strings would
+    only ever hide a violation on that same line, never invent one."""
+    text = BLOCK_COMMENT.sub(lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
+    return "\n".join(STRING_FREE_LINE_COMMENT.sub("", ln) for ln in text.split("\n"))
+
+
+def iter_code_files(root, dirs):
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            # Exclude fixture trees relative to the scanned root, so the
+            # fixtures themselves can be linted with --root pointing at them.
+            if (path.suffix in CODE_SUFFIXES
+                    and "testdata" not in path.relative_to(root).parts):
+                yield path
+
+
+def check_raw_io(root, violations):
+    for path in iter_code_files(root, ("src",)):
+        rel = path.relative_to(root).as_posix()
+        if rel in RAW_IO_ALLOWLIST:
+            continue
+        raw_lines = path.read_text().split("\n")
+        stripped = strip_comments(path.read_text()).split("\n")
+        for i, line in enumerate(stripped, 1):
+            if RAW_IO_PATTERN.search(line):
+                annotation = RAW_IO_ANNOTATION.search(raw_lines[i - 1])
+                if annotation:
+                    continue
+                violations.append(Violation(
+                    rel, i, "raw-io",
+                    "raw file write; route durable artifacts through "
+                    "util::AtomicFileWriter / WriteFileAtomic / BinaryWriter "
+                    "(or annotate: lint: allow-raw-io(<reason>))"))
+
+
+def collect_fault_points(root):
+    """name -> list of (file, line) introduction sites in src/."""
+    sites = {}
+    for path in iter_code_files(root, ("src",)):
+        rel = path.relative_to(root).as_posix()
+        stripped = strip_comments(path.read_text())
+        for i, line in enumerate(stripped.split("\n"), 1):
+            for pattern in FAULT_SINKS:
+                for match in pattern.finditer(line):
+                    sites.setdefault(match.group(1), []).append((rel, i))
+            for match in FAULT_TRAILING_SINKS.finditer(line):
+                arguments = match.group(1) or match.group(2) or ""
+                literals = STRING_LITERAL.findall(arguments)
+                if literals:
+                    sites.setdefault(literals[-1], []).append((rel, i))
+    return sites
+
+
+def check_fault_points(root, design_text, violations):
+    documented = set(re.findall(r"`([^`]+)`", design_text))
+    for name, sites in sorted(collect_fault_points(root).items()):
+        rel, line = sites[0]
+        if name not in documented:
+            violations.append(Violation(
+                rel, line, "fault-points",
+                f'fault point "{name}" is not documented in DESIGN.md '
+                "(add it, backticked, to the §8 failpoint list)"))
+        files = sorted({site_file for site_file, _ in sites})
+        if len(files) > 1:
+            violations.append(Violation(
+                rel, line, "fault-points",
+                f'fault point "{name}" is introduced from multiple files '
+                f"({', '.join(files)}); give each site a distinct name so "
+                "INFUSERKI_FAULTS targets exactly one code path"))
+
+
+def observability_section(design_text):
+    match = re.search(
+        r"^##[^\n]*Observability[^\n]*\n(.*?)(?=^## |\Z)",
+        design_text, re.MULTILINE | re.DOTALL)
+    return match.group(1) if match else None
+
+
+def check_metric_names(root, design_text, violations):
+    section = observability_section(design_text)
+    tokens = set(re.findall(r"`([^`]+)`", section)) if section else set()
+
+    def documented(name):
+        if name in tokens:
+            return True
+        prefix, _, leaf = name.rpartition("/")
+        if not prefix:
+            return False
+        if prefix + "/" not in tokens:
+            return False
+        return any(
+            tok == leaf or (tok.endswith("*") and fnmatch.fnmatch(leaf, tok))
+            for tok in tokens)
+
+    for path in iter_code_files(root, ("src", "bench")):
+        rel = path.relative_to(root).as_posix()
+        stripped = strip_comments(path.read_text())
+        for i, line in enumerate(stripped.split("\n"), 1):
+            for match in METRIC_PATTERN.finditer(line):
+                name = match.group(1)
+                if section is None:
+                    violations.append(Violation(
+                        rel, i, "metric-names",
+                        "DESIGN.md has no '## ... Observability' section to "
+                        f'document metric "{name}" against'))
+                elif not documented(name):
+                    violations.append(Violation(
+                        rel, i, "metric-names",
+                        f'metric "{name}" is missing from the DESIGN.md §6 '
+                        "metric table (document it or fix the name)"))
+
+
+def expected_guard(rel_path):
+    parts = list(rel_path.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    return "INFUSERKI_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_include_guards(root, violations):
+    for path in iter_code_files(root, CODE_DIRS):
+        if path.suffix not in (".h", ".hpp"):
+            continue
+        rel = path.relative_to(root)
+        want = expected_guard(rel)
+        text = path.read_text()
+        ifndef = re.search(r"#ifndef\s+(\S+)", text)
+        define = re.search(r"#define\s+(\S+)", text)
+        if not ifndef or not define:
+            violations.append(Violation(
+                rel.as_posix(), 1, "include-guards",
+                f"missing include guard (expected {want})"))
+            continue
+        if ifndef.group(1) != want or define.group(1) != want:
+            violations.append(Violation(
+                rel.as_posix(),
+                text[:ifndef.start()].count("\n") + 1,
+                "include-guards",
+                f"guard {ifndef.group(1)} does not match path-derived "
+                f"{want}"))
+
+
+def check_rng_determinism(root, violations):
+    for path in iter_code_files(root, CODE_DIRS):
+        rel = path.relative_to(root).as_posix()
+        stripped = strip_comments(path.read_text())
+        for i, line in enumerate(stripped.split("\n"), 1):
+            for pattern, why in RNG_PATTERNS:
+                if pattern.search(line):
+                    violations.append(Violation(
+                        rel, i, "rng-determinism",
+                        f"{why}; take an explicit seed / util::Rng instead"))
+
+
+RULES = {
+    "raw-io": lambda root, design, v: check_raw_io(root, v),
+    "fault-points": check_fault_points,
+    "metric-names": check_metric_names,
+    "include-guards": lambda root, design, v: check_include_guards(root, v),
+    "rng-determinism": lambda root, design, v: check_rng_determinism(root, v),
+}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--only", action="append", choices=sorted(RULES),
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(sorted(RULES)))
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"check_invariants: no such directory: {root}", file=sys.stderr)
+        return 2
+    design_path = root / "DESIGN.md"
+    design_text = design_path.read_text() if design_path.is_file() else ""
+
+    violations = []
+    for name in args.only or sorted(RULES):
+        RULES[name](root, design_text, violations)
+
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"check_invariants: {len(violations)} violation(s) in {root}",
+              file=sys.stderr)
+        return 1
+    print(f"check_invariants: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

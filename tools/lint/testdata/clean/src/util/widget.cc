@@ -1,0 +1,11 @@
+#include "util/widget.h"
+
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
+
+int Widget() {
+  infuserki::obs::Registry::Get().GetCounter("widget/turns")->Increment();
+  infuserki::util::AtomicFileWriter writer("/tmp/w", "widget/save");
+  return FAULT_POINT("widget/step").ok() ? 0 : 1;
+}

@@ -1,0 +1,3 @@
+#include "util/fault.h"
+
+int SaveA() { return FAULT_POINT("dup/point").ok() ? 0 : 1; }

@@ -1,0 +1,3 @@
+#include "util/fault.h"
+
+int SaveB() { return FAULT_POINT("dup/point").ok() ? 0 : 1; }

@@ -1,0 +1,3 @@
+#include "util/fault.h"
+
+int Touch() { return FAULT_POINT("ghost/point").ok() ? 0 : 1; }

@@ -1,0 +1,6 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+int Thing();
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,5 @@
+#include "obs/metrics.h"
+
+void Bump() {
+  infuserki::obs::Registry::Get().GetCounter("mystery/thing")->Increment();
+}

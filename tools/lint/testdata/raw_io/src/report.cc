@@ -1,0 +1,6 @@
+#include <fstream>
+
+void WriteReport(const char* path) {
+  std::ofstream out(path);
+  out << "torn on crash\n";
+}

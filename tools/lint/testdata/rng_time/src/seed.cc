@@ -1,0 +1,6 @@
+#include <ctime>
+#include <random>
+
+std::mt19937_64 MakeEngine() {
+  return std::mt19937_64(static_cast<unsigned long>(time(nullptr)));
+}
