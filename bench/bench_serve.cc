@@ -1,0 +1,214 @@
+// Serving-layer bench (DESIGN.md §10): floods InferenceServer with
+// asynchronous requests at each worker count and reports throughput,
+// p50/p99 latency, and shed rate, plus a conservation check over the
+// serve/ accounting counters. Doubles as the check_build.sh chaos smoke:
+// run with INFUSERKI_FAULTS armed and an undersized --kv_budget, the final
+// "serve_accounting=ok" line proves no request was lost or double-counted
+// under fault churn.
+//
+// Flags: --workers=1,2,4 (comma list) --requests=96 --queue=32
+// --kv_budget=64 --max_new=8 --deadline_ms=0 (0 = none) --seed=17
+// plus the shared --trace_out / --metrics_out observability outputs.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "model/transformer.h"
+#include "serve/server.h"
+#include "text/tokenizer.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace infuserki {
+namespace {
+
+std::vector<size_t> ParseWorkerList(const std::string& spec) {
+  std::vector<size_t> workers;
+  for (const std::string& piece : util::Split(spec, ",")) {
+    int64_t value = std::atoll(piece.c_str());
+    if (value > 0) workers.push_back(static_cast<size_t>(value));
+  }
+  if (workers.empty()) workers = {1, 2, 4};
+  return workers;
+}
+
+/// Latency percentile over completed requests (nearest-rank).
+double PercentileMs(std::vector<double> sorted_seconds, double p) {
+  if (sorted_seconds.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * (sorted_seconds.size() - 1));
+  return sorted_seconds[rank] * 1e3;
+}
+
+struct CounterSnapshot {
+  uint64_t requests, completed, shed, deadline, cancelled, failures;
+  uint64_t degraded, retries, evictions, prefix_hits;
+};
+
+CounterSnapshot ReadCounters() {
+  obs::Registry& registry = obs::Registry::Get();
+  auto value = [&](const char* name) {
+    return registry.GetCounter(name)->Value();
+  };
+  return {value("serve/requests"),       value("serve/completed"),
+          value("serve/shed"),           value("serve/deadline_misses"),
+          value("serve/cancelled"),      value("serve/failures"),
+          value("serve/degraded"),       value("serve/retries"),
+          value("serve/evictions"),      value("serve/prefix_hits")};
+}
+
+}  // namespace
+}  // namespace infuserki
+
+int main(int argc, char** argv) {
+  using namespace infuserki;  // NOLINT(build/namespaces)
+  util::Flags flags(argc, argv);
+  bench::ObsSession obs_session("bench_serve", flags);
+
+  const std::vector<size_t> worker_counts =
+      ParseWorkerList(flags.GetString("workers", "1,2,4"));
+  const size_t requests =
+      static_cast<size_t>(flags.GetInt("requests", 96));
+  const size_t queue = static_cast<size_t>(flags.GetInt("queue", 32));
+  const size_t kv_budget =
+      static_cast<size_t>(flags.GetInt("kv_budget", 64));
+  const size_t max_new = static_cast<size_t>(flags.GetInt("max_new", 8));
+  const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
+
+  obs_session.manifest().AddConfig("requests",
+                                   static_cast<int64_t>(requests));
+  obs_session.manifest().AddConfig("queue", static_cast<int64_t>(queue));
+  obs_session.manifest().AddConfig("kv_budget",
+                                   static_cast<int64_t>(kv_budget));
+
+  // Untrained model: serving cost does not depend on weight values.
+  std::vector<std::string> corpus = {
+      "alpha beta gamma delta epsilon zeta eta theta iota kappa",
+      "lambda mu nu xi omicron pi rho sigma tau upsilon phi chi",
+  };
+  text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+  model::TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = static_cast<size_t>(flags.GetInt("dim", 32));
+  config.num_layers = static_cast<size_t>(flags.GetInt("layers", 4));
+  config.num_heads = 2;
+  config.ffn_hidden = config.dim * 2;
+  config.max_seq_len = 48;
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 17)));
+  model::TransformerLM lm(config, &rng);
+
+  const std::vector<std::string> prompts = {
+      "alpha beta gamma",
+      "lambda mu nu xi",
+      "sigma tau upsilon phi chi",
+      "theta iota kappa lambda mu nu",
+      "epsilon zeta",
+      "pi rho sigma",
+      "chi phi upsilon tau",
+      "beta delta zeta theta kappa",
+  };
+
+  util::TablePrinter table({"workers", "completed", "shed", "deadline",
+                            "degraded", "p50_ms", "p99_ms", "req_per_s"});
+  obs::Registry& registry = obs::Registry::Get();
+  bool accounting_ok = true;
+
+  for (size_t workers : worker_counts) {
+    CounterSnapshot before = ReadCounters();
+    serve::ServeOptions options;
+    options.num_workers = workers;
+    options.queue_capacity = queue;
+    options.kv_budget_tokens = kv_budget;
+    options.default_max_new_tokens = max_new;
+    options.retry = {.max_attempts = 3, .base_delay_ms = 1};
+    serve::InferenceServer server(lm, tokenizer, options);
+
+    util::Stopwatch watch;
+    std::vector<std::future<serve::Response>> pending;
+    pending.reserve(requests);
+    for (size_t k = 0; k < requests; ++k) {
+      serve::Request request;
+      request.prompt = prompts[k % prompts.size()];
+      request.max_new_tokens = max_new;
+      if (deadline_ms > 0) {
+        request.deadline = std::chrono::milliseconds(deadline_ms);
+      }
+      pending.push_back(server.Submit(std::move(request)));
+    }
+    std::vector<double> latencies;
+    latencies.reserve(requests);
+    for (std::future<serve::Response>& future : pending) {
+      serve::Response response = future.get();
+      if (response.status.ok()) {
+        latencies.push_back(response.total_seconds);
+      }
+    }
+    double elapsed = watch.ElapsedSeconds();
+    server.Shutdown();
+
+    CounterSnapshot after = ReadCounters();
+    uint64_t round_requests = after.requests - before.requests;
+    uint64_t completed = after.completed - before.completed;
+    uint64_t shed = after.shed - before.shed;
+    uint64_t deadline = after.deadline - before.deadline;
+    uint64_t degraded = after.degraded - before.degraded;
+    uint64_t classified = completed + shed + deadline +
+                          (after.cancelled - before.cancelled) +
+                          (after.failures - before.failures);
+    if (round_requests != requests || classified != round_requests) {
+      accounting_ok = false;
+      std::cerr << "accounting mismatch at workers=" << workers
+                << ": submitted=" << round_requests
+                << " classified=" << classified << "\n";
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    double p50 = PercentileMs(latencies, 0.50);
+    double p99 = PercentileMs(latencies, 0.99);
+    double throughput =
+        elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+
+    table.AddRow({std::to_string(workers), std::to_string(completed),
+                  std::to_string(shed), std::to_string(deadline),
+                  std::to_string(degraded), util::FormatFloat(p50, 2),
+                  util::FormatFloat(p99, 2),
+                  util::FormatFloat(throughput, 1)});
+    std::cout << "serve_bench: workers=" << workers
+              << " requests=" << round_requests
+              << " completed=" << completed << " shed=" << shed
+              << " deadline_misses=" << deadline
+              << " degraded=" << degraded
+              << " retries=" << (after.retries - before.retries)
+              << " evictions=" << (after.evictions - before.evictions)
+              << " prefix_hits=" << (after.prefix_hits - before.prefix_hits)
+              << " p50_ms=" << util::FormatFloat(p50, 3)
+              << " p99_ms=" << util::FormatFloat(p99, 3)
+              << " req_per_s=" << util::FormatFloat(throughput, 1) << "\n";
+
+    // Published per worker count under the bench_* glob (DESIGN.md §6) so
+    // --metrics_out manifests carry the headline numbers; later rounds
+    // overwrite earlier ones, the table keeps the full sweep.
+    registry.GetGauge("serve/bench_p50_ms")->Set(p50);
+    registry.GetGauge("serve/bench_p99_ms")->Set(p99);
+    registry.GetGauge("serve/bench_req_per_s")->Set(throughput);
+    registry.GetGauge("serve/bench_completed")
+        ->Set(static_cast<double>(completed));
+    registry.GetGauge("serve/bench_shed")->Set(static_cast<double>(shed));
+  }
+
+  std::cout << "\n=== bench_serve (requests=" << requests
+            << " queue=" << queue << " kv_budget=" << kv_budget
+            << " max_new=" << max_new << ") ===\n\n";
+  table.Print(std::cout);
+  std::cout << "\nserve_accounting=" << (accounting_ok ? "ok" : "FAILED")
+            << "\n";
+  obs_session.Finish();
+  return accounting_ok ? 0 : 1;
+}

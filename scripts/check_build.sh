@@ -16,16 +16,20 @@
 # 5. Runs the crash/resume smoke: a training run killed by an injected
 #    crash failpoint (exit 42) must resume from its snapshot and finish
 #    with parameters bit-identical to an uninterrupted run.
-# 6. Builds the ThreadSanitizer preset and runs the concurrency gate
-#    (race_stress_test plus the threadpool / kv-cache / obs suites) with
-#    fail-fast TSAN_OPTIONS — zero reports allowed (tsan.supp is reserved
-#    for documented third-party noise; see DESIGN.md §9).
-# 7. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
+# 6. Runs the serving chaos smoke: bench_serve flooded under injected
+#    compute + I/O faults with an undersized KV budget must keep its
+#    request accounting conserved ("serve_accounting=ok") and exit 0.
+# 7. Builds the ThreadSanitizer preset and runs the concurrency gate
+#    (race_stress_test plus the threadpool / kv-cache / obs / serve
+#    suites, including the chaos soak) with fail-fast TSAN_OPTIONS — zero
+#    reports allowed (tsan.supp is reserved for documented third-party
+#    noise; see DESIGN.md §9).
+# 8. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
 #    the LLVM tools are installed (skipped with a notice otherwise — the
 #    scale-run container has no LLVM), then the repo invariant linter
 #    (tools/lint/check_invariants.py) and its self-test, which must always
 #    pass.
-# 8. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
+# 9. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
 #    README.md exist, so the docs cannot drift from the tree silently.
 set -eu
 
@@ -143,13 +147,27 @@ FRESH_CRC="$(echo "$FRESH" | sed -n 's/^resume_smoke_params_crc=//p')"
 rm -rf "$RESUME_DIR" "$FRESH_DIR"
 echo "crash/resume smoke OK: resumed from step 40, params CRC $RESUMED_CRC"
 
+echo "== serve chaos smoke: bench_serve under injected faults (${SMOKE_DIR}) =="
+cmake --build "$SMOKE_DIR" -j --target bench_serve
+SERVE_OUT="${TMPDIR:-/tmp}/check_build_serve.txt"
+INFUSERKI_FAULTS="serve/decode_step=prob:0.05:7;serve/prefill=prob:0.1:3;serve/tokenize=fail@11;io/atomic_write=prob:0.5:3" \
+  "$SMOKE_DIR/bench/bench_serve" \
+  --workers=1,4 --requests=64 --kv_budget=8 | tee "$SERVE_OUT"
+grep -q '^serve_accounting=ok$' "$SERVE_OUT" || {
+  echo "FAIL: serve accounting not conserved under chaos" >&2
+  exit 1
+}
+echo "serve chaos smoke OK (accounting conserved under faults)"
+
 echo "== tsan: race gate (build-tsan) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DINFUSERKI_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j --target \
-  race_stress_test threadpool_test kv_cache_test obs_test
-for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test; do
+  race_stress_test threadpool_test kv_cache_test obs_test \
+  serve_test serve_chaos_test
+for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test \
+                 serve_test serve_chaos_test; do
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$(pwd)/tsan.supp" \
     "$TSAN_DIR/tests/$tsan_test"
 done

@@ -40,6 +40,11 @@ struct Triplet {
 /// sampling.
 class KnowledgeGraph {
  public:
+  /// Ceiling on entity/relation ids imposed by the packed (head, relation)
+  /// lookup key. Loaders must reject inputs that would cross it — ids at or
+  /// above the stride would silently collide in the unique-tail index.
+  static constexpr int64_t kMaxEntities = 1 << 20;
+
   KnowledgeGraph() = default;
 
   /// Adds (or finds) an entity by name; returns its id.
@@ -88,7 +93,7 @@ class KnowledgeGraph {
   std::vector<std::vector<int>> tail_pools_;        // by relation id
   std::vector<std::vector<char>> tail_pool_seen_;   // membership bitmap
 
-  static constexpr int64_t kKeyStride = 1 << 20;
+  static constexpr int64_t kKeyStride = kMaxEntities;
 };
 
 }  // namespace infuserki::kg

@@ -31,21 +31,43 @@ std::vector<std::string> SplitTabs(const std::string& line) {
 }
 
 util::Status ParseLine(const std::string& path, size_t line_number,
-                       const std::string& line, KnowledgeGraph* kg) {
+                       const std::string& raw_line, KnowledgeGraph* kg) {
+  // Tolerate CRLF files (the CRC, when framed, is verified over the raw
+  // bytes before parsing; trimming here only affects field values).
+  std::string line = raw_line;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  auto error_at = [&](const std::string& message) {
+    return util::Status::InvalidArgument(
+        path + ":" + std::to_string(line_number) + ": " + message);
+  };
+  // Garbage-line guards: a control byte (truncated write, binary junk
+  // spliced into the payload) or an empty field would otherwise mint
+  // nonsense entities silently instead of failing the load.
+  for (char c : line) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20 && c != '\t') {
+      return error_at("control byte in line (corrupt or binary data)");
+    }
+  }
   std::vector<std::string> fields = SplitTabs(line);
   if (fields[0] == "#relation") {
-    if (fields.size() != 3) {
-      return util::Status::InvalidArgument(
-          path + ":" + std::to_string(line_number) +
-          ": malformed relation header");
+    if (fields.size() != 3 || fields[1].empty()) {
+      return error_at("malformed relation header");
     }
     kg->AddRelation(fields[1], fields[2]);
     return util::Status::OK();
   }
   if (fields.size() != 3) {
-    return util::Status::InvalidArgument(
-        path + ":" + std::to_string(line_number) +
-        ": expected head\\trelation\\ttail");
+    return error_at("expected head\\trelation\\ttail, got " +
+                    std::to_string(fields.size()) + " fields");
+  }
+  if (fields[0].empty() || fields[1].empty() || fields[2].empty()) {
+    return error_at("empty field in triple");
+  }
+  if (static_cast<int64_t>(kg->num_entities()) + 2 >
+      KnowledgeGraph::kMaxEntities) {
+    return error_at("entity count exceeds the packed-key ceiling (" +
+                    std::to_string(KnowledgeGraph::kMaxEntities) + ")");
   }
   int head = kg->AddEntity(fields[0]);
   int relation = kg->FindRelation(fields[1]);
@@ -53,8 +75,7 @@ util::Status ParseLine(const std::string& path, size_t line_number,
   int tail = kg->AddEntity(fields[2]);
   util::Status status = kg->AddTriplet(head, relation, tail);
   if (!status.ok()) {
-    return util::Status::InvalidArgument(
-        path + ":" + std::to_string(line_number) + ": " + status.message());
+    return error_at(status.message());
   }
   return util::Status::OK();
 }

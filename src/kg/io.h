@@ -18,8 +18,10 @@ util::Status SaveTsv(const KnowledgeGraph& kg, const std::string& path);
 /// Loads a KG written by SaveTsv (or any plain head\trelation\ttail file;
 /// unknown relations get their name as surface). Framed files are verified
 /// — truncation, line-count drift, or a CRC mismatch returns kDataLoss —
-/// while legacy headerless files parse as before. Duplicate (head,
-/// relation) pairs are rejected with the offending line number.
+/// while legacy headerless files parse as before. Malformed payload lines
+/// (wrong field count, empty fields, control bytes, duplicate (head,
+/// relation) pairs, entity-id overflow) are rejected with the offending
+/// line number; no input, however corrupt, crashes the loader.
 util::StatusOr<KnowledgeGraph> LoadTsv(const std::string& path);
 
 }  // namespace infuserki::kg

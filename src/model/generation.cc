@@ -297,8 +297,12 @@ int ExtractChosenOption(const TransformerLM& lm,
   std::vector<int> prompt_ids = tokenizer.EncodeWithSpecials(prompt, false);
   std::vector<int> generated = GreedyDecode(lm, prompt_ids, 12, options);
   // Case-normalize the response once so the option-text fallback below
-  // compares lowercase needles against a lowercase haystack.
-  const std::string response = util::ToLower(tokenizer.Decode(generated));
+  // compares lowercase needles against a lowercase haystack. Ids the model
+  // emits are always in-vocabulary; an undecodable response extracts
+  // nothing, which the caller counts as incorrect.
+  util::StatusOr<std::string> decoded = tokenizer.Decode(generated);
+  const std::string response =
+      decoded.ok() ? util::ToLower(*decoded) : std::string();
   // Letter form: "( a )" etc.
   for (size_t i = 0; i < options_text.size(); ++i) {
     std::string letter =

@@ -1,0 +1,102 @@
+#include "serve/prefix_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace infuserki::serve {
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* evictions;
+  obs::Gauge* cached_tokens;
+  obs::Gauge* cached_prefixes;
+};
+
+CacheMetrics& Metrics() {
+  // Resolved once under the magic-static guard; updates afterwards are
+  // relaxed atomics, so Put/Take publish without touching the registry
+  // lock (same idiom as EngineMetrics in decode_session.cc).
+  static CacheMetrics* metrics = [] {
+    obs::Registry& registry = obs::Registry::Get();
+    return new CacheMetrics{registry.GetCounter("serve/evictions"),
+                            registry.GetGauge("serve/cached_tokens"),
+                            registry.GetGauge("serve/cached_prefixes")};
+  }();
+  return *metrics;
+}
+
+}  // namespace
+
+PrefixCache::PrefixCache(size_t budget_tokens)
+    : budget_tokens_(budget_tokens) {}
+
+std::unique_ptr<PrefixCache::Entry> PrefixCache::Take(
+    const std::vector<int>& prompt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(prompt);
+  if (it == slots_.end()) return nullptr;
+  std::unique_ptr<Entry> entry = std::move(it->second.entry);
+  cached_tokens_ -= entry->prompt.size();
+  slots_.erase(it);
+  ++tick_;
+  PublishLocked();
+  return entry;
+}
+
+void PrefixCache::Put(std::unique_ptr<Entry> entry) {
+  if (entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(entry->prompt);
+  if (it != slots_.end()) {
+    // Another worker re-prefilled the same prompt while we decoded; keep
+    // the resident copy and count the incoming one as evicted.
+    Metrics().evictions->Increment();
+    return;
+  }
+  size_t tokens = entry->prompt.size();
+  std::vector<int> key = entry->prompt;
+  Slot slot;
+  slot.entry = std::move(entry);
+  slot.last_use = ++tick_;
+  slots_.emplace(std::move(key), std::move(slot));
+  cached_tokens_ += tokens;
+  EnforceBudgetLocked();
+  PublishLocked();
+}
+
+void PrefixCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  cached_tokens_ = 0;
+  PublishLocked();
+}
+
+size_t PrefixCache::cached_tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_tokens_;
+}
+
+size_t PrefixCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void PrefixCache::EnforceBudgetLocked() {
+  while (cached_tokens_ > budget_tokens_ && !slots_.empty()) {
+    auto victim = slots_.begin();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    cached_tokens_ -= victim->second.entry->prompt.size();
+    slots_.erase(victim);
+    Metrics().evictions->Increment();
+  }
+}
+
+void PrefixCache::PublishLocked() {
+  Metrics().cached_tokens->Set(static_cast<double>(cached_tokens_));
+  Metrics().cached_prefixes->Set(static_cast<double>(slots_.size()));
+}
+
+}  // namespace infuserki::serve

@@ -1,0 +1,87 @@
+#ifndef INFUSERKI_SERVE_PREFIX_CACHE_H_
+#define INFUSERKI_SERVE_PREFIX_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "model/decode_session.h"
+
+namespace infuserki::serve {
+
+/// LRU pool of prefilled DecodeSessions, keyed by exact prompt token ids
+/// and bounded by a KV-token budget.
+///
+/// A cached entry holds a session whose KV cache ends exactly at the prompt
+/// boundary (its checkpoint `mark`), plus a copy of the prompt-boundary
+/// logits row — a rewound session has no logits for the first continuation
+/// token, so the row is captured at prefill time and replayed on reuse.
+///
+/// Ownership protocol: Take() removes the entry from the pool, giving the
+/// caller exclusive use of the (single-threaded) session; after decoding,
+/// the caller rewinds to `mark` and Put()s the entry back. An entry whose
+/// session failed mid-decode is simply dropped instead of returned. Put()
+/// evicts least-recently-used entries until the total cached prompt tokens
+/// fit the budget again — possibly evicting the incoming entry itself when
+/// it alone exceeds the budget — so cached KV memory stays bounded no
+/// matter the request mix. Evictions and occupancy are published through
+/// the `serve/` metrics (DESIGN.md §6).
+class PrefixCache {
+ public:
+  /// One reusable prefilled prefix.
+  struct Entry {
+    std::vector<int> prompt;
+    std::unique_ptr<model::DecodeSession> session;
+    model::DecodeSession::Checkpoint mark;  // the prompt boundary
+    std::vector<float> last_row;  // logits row scoring the next token
+  };
+
+  /// `budget_tokens` caps the sum of cached prompt lengths; 0 disables
+  /// caching entirely (every Put is an immediate eviction).
+  explicit PrefixCache(size_t budget_tokens);
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Removes and returns the entry for `prompt`, or null on a miss. The
+  /// caller owns the entry exclusively until it is Put() back or dropped.
+  std::unique_ptr<Entry> Take(const std::vector<int>& prompt);
+
+  /// Returns an entry to the pool (caller must have rewound the session to
+  /// `mark` first), then enforces the budget by LRU eviction. If another
+  /// entry for the same prompt was inserted meanwhile, the incoming one is
+  /// dropped. Null entries are ignored.
+  void Put(std::unique_ptr<Entry> entry);
+
+  /// Drops every cached entry (keeps the budget).
+  void Clear();
+
+  size_t cached_tokens() const;
+  size_t entries() const;
+  size_t budget_tokens() const { return budget_tokens_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Entry> entry;
+    uint64_t last_use = 0;
+  };
+
+  /// Evicts LRU slots until `cached_tokens_` fits the budget. Requires
+  /// `mu_` held.
+  void EnforceBudgetLocked();
+  /// Publishes occupancy gauges. Requires `mu_` held.
+  void PublishLocked();
+
+  const size_t budget_tokens_;
+  mutable std::mutex mu_;
+  uint64_t tick_ = 0;
+  size_t cached_tokens_ = 0;
+  std::map<std::vector<int>, Slot> slots_;
+};
+
+}  // namespace infuserki::serve
+
+#endif  // INFUSERKI_SERVE_PREFIX_CACHE_H_

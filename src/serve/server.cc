@@ -1,0 +1,394 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor.h"
+#include "util/stopwatch.h"
+
+namespace infuserki::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* completed;
+  obs::Counter* shed;
+  obs::Counter* deadline_misses;
+  obs::Counter* failures;
+  obs::Counter* degraded;
+  obs::Counter* retries;
+  obs::Counter* prefix_hits;
+  obs::Counter* prefix_misses;
+  obs::Counter* cancelled;
+  obs::Gauge* queue_depth;
+  obs::Gauge* queue_depth_max;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* request_seconds;
+  obs::Histogram* tokens_generated;
+};
+
+ServeMetrics& Metrics() {
+  // Magic-static resolution, relaxed-atomic updates afterwards (the
+  // EngineMetrics idiom from decode_session.cc): workers publish without
+  // the registry lock.
+  static ServeMetrics* metrics = [] {
+    obs::Registry& registry = obs::Registry::Get();
+    return new ServeMetrics{
+        registry.GetCounter("serve/requests"),
+        registry.GetCounter("serve/completed"),
+        registry.GetCounter("serve/shed"),
+        registry.GetCounter("serve/deadline_misses"),
+        registry.GetCounter("serve/failures"),
+        registry.GetCounter("serve/degraded"),
+        registry.GetCounter("serve/retries"),
+        registry.GetCounter("serve/prefix_hits"),
+        registry.GetCounter("serve/prefix_misses"),
+        registry.GetCounter("serve/cancelled"),
+        registry.GetGauge("serve/queue_depth"),
+        registry.GetGauge("serve/queue_depth_max"),
+        registry.GetHistogram("serve/queue_wait_seconds"),
+        registry.GetHistogram("serve/request_seconds"),
+        registry.GetHistogram("serve/tokens_generated")};
+  }();
+  return *metrics;
+}
+
+/// Argmax over one logits row with the exact first-max tie-break of
+/// generation.cc's ArgmaxLastRow — bit-exactness with GreedyDecode depends
+/// on scanning order and the strict `>` comparison.
+int ArgmaxRow(const float* row, size_t vocab) {
+  int best = 0;
+  for (size_t v = 1; v < vocab; ++v) {
+    if (row[v] > row[best]) best = static_cast<int>(v);
+  }
+  return best;
+}
+
+/// Copies the last row of a [T, V] logits tensor.
+std::vector<float> LastRow(const tensor::Tensor& logits) {
+  size_t vocab = logits.dim(1);
+  const float* row = logits.data() + (logits.dim(0) - 1) * vocab;
+  return std::vector<float>(row, row + vocab);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const model::TransformerLM& lm,
+                                 const text::Tokenizer& tokenizer,
+                                 ServeOptions options)
+    : lm_(lm),
+      tokenizer_(tokenizer),
+      options_(std::move(options)),
+      cache_(options_.kv_budget_tokens) {
+  size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&InferenceServer::WorkerLoop, this);
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::future<Response> InferenceServer::Submit(Request request) {
+  ServeMetrics& metrics = Metrics();
+  metrics.requests->Increment();
+
+  auto job = std::make_unique<Job>();
+  std::chrono::milliseconds deadline =
+      request.deadline.count() > 0 ? request.deadline
+                                   : options_.default_deadline;
+  job->request = std::move(request);
+  job->enqueued = Clock::now();
+  if (deadline.count() > 0) job->deadline = job->enqueued + deadline;
+  std::future<Response> future = job->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_started_) {
+      metrics.cancelled->Increment();
+      Response response;
+      response.status =
+          util::Status::Unavailable("server is shutting down");
+      job->promise.set_value(std::move(response));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Load shedding: reject now instead of queueing unbounded work the
+      // deadline will kill anyway.
+      metrics.shed->Increment();
+      Response response;
+      response.status = util::Status::ResourceExhausted(
+          "admission queue full (" +
+          std::to_string(options_.queue_capacity) + " requests)");
+      job->promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+    metrics.queue_depth_max->UpdateMax(
+        static_cast<double>(queue_.size()));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+Response InferenceServer::Run(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+void InferenceServer::Shutdown() {
+  std::deque<std::unique_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_started_) {
+      shutdown_started_ = true;
+      shutting_down_.store(true, std::memory_order_relaxed);
+      orphaned.swap(queue_);
+      Metrics().queue_depth->Set(0.0);
+    }
+  }
+  work_ready_.notify_all();
+  for (std::unique_ptr<Job>& job : orphaned) {
+    Metrics().cancelled->Increment();
+    Response response;
+    response.status =
+        util::Status::Unavailable("server shut down before execution");
+    job->promise.set_value(std::move(response));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+size_t InferenceServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void InferenceServer::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_started_ || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // only reachable on shutdown
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    Process(job.get());
+  }
+}
+
+void InferenceServer::Process(Job* job) {
+  OBS_SPAN("serve/request");
+  tensor::NoGradGuard no_grad;
+  ServeMetrics& metrics = Metrics();
+  util::Stopwatch watch;
+  Response response;
+  response.queue_seconds =
+      std::chrono::duration<double>(Clock::now() - job->enqueued).count();
+  metrics.queue_wait_seconds->Record(response.queue_seconds);
+
+  const bool bounded = job->deadline != Clock::time_point{};
+  auto expired = [&] { return bounded && Clock::now() >= job->deadline; };
+
+  // Single exit: classify the terminal status into the accounting
+  // counters (requests == completed + shed + deadline_misses + cancelled
+  // + failures holds at every quiescent point) and resolve the promise.
+  auto deliver = [&](util::Status status) {
+    response.status = std::move(status);
+    double processing = watch.ElapsedSeconds();
+    response.total_seconds = response.queue_seconds + processing;
+    metrics.request_seconds->Record(processing);
+    switch (response.status.code()) {
+      case util::StatusCode::kOk:
+        metrics.tokens_generated->Record(
+            static_cast<double>(response.tokens.size()));
+        metrics.completed->Increment();
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        metrics.deadline_misses->Increment();
+        break;
+      case util::StatusCode::kCancelled:
+      case util::StatusCode::kUnavailable:
+        metrics.cancelled->Increment();
+        break;
+      default:
+        metrics.failures->Increment();
+    }
+    job->promise.set_value(std::move(response));
+  };
+
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    deliver(util::Status::Cancelled("server shutting down"));
+    return;
+  }
+  if (expired()) {
+    deliver(util::Status::DeadlineExceeded("deadline expired in queue"));
+    return;
+  }
+
+  // Per-request retry policy: the request deadline bounds the whole
+  // backoff loop, so retries can never outlive the request they serve.
+  util::RetryOptions retry = options_.retry;
+  retry.deadline = job->deadline;
+  auto retry_step = [&](const std::function<util::Status()>& step,
+                        const std::string& what) {
+    int attempts = 0;
+    util::Status status = util::RetryWithBackoff(
+        [&] {
+          ++attempts;
+          return step();
+        },
+        retry, what);
+    if (attempts > 1) {
+      metrics.retries->Increment(static_cast<uint64_t>(attempts - 1));
+      response.retries += attempts - 1;
+    }
+    return status;
+  };
+
+  util::Status tokenize_status = retry_step(
+      [] { return FAULT_POINT("serve/tokenize"); }, "serve tokenize");
+  if (!tokenize_status.ok()) {
+    deliver(std::move(tokenize_status));
+    return;
+  }
+  const std::vector<int> prompt_ids =
+      tokenizer_.EncodeWithSpecials(job->request.prompt, false);
+
+  const size_t max_seq = lm_.config().max_seq_len;
+  const size_t vocab = lm_.config().vocab_size;
+  if (prompt_ids.size() >= max_seq) {
+    deliver(util::Status::InvalidArgument(
+        "prompt of " + std::to_string(prompt_ids.size()) +
+        " tokens leaves no room under max_seq_len " +
+        std::to_string(max_seq)));
+    return;
+  }
+  size_t max_new = job->request.max_new_tokens > 0
+                       ? job->request.max_new_tokens
+                       : options_.default_max_new_tokens;
+  max_new = std::min(max_new, max_seq - prompt_ids.size());
+  if (max_new == 0) {
+    deliver(util::Status::OK());
+    return;
+  }
+
+  // --- Primary path: KV-cached incremental decode. -----------------------
+  std::unique_ptr<PrefixCache::Entry> entry = cache_.Take(prompt_ids);
+  if (entry != nullptr) {
+    metrics.prefix_hits->Increment();
+    response.prefix_hit = true;
+  } else {
+    metrics.prefix_misses->Increment();
+    util::Status prefill_status = retry_step(
+        [] { return FAULT_POINT("serve/prefill"); }, "serve prefill");
+    if (prefill_status.ok()) {
+      entry = std::make_unique<PrefixCache::Entry>();
+      entry->prompt = prompt_ids;
+      entry->session = std::make_unique<model::DecodeSession>(lm_);
+      tensor::Tensor logits = entry->session->Prefill(prompt_ids);
+      entry->mark = entry->session->Save();
+      entry->last_row = LastRow(logits);
+    }
+    // A permanent prefill fault leaves `entry` null: fall through to the
+    // cacheless path below rather than failing the request.
+  }
+
+  std::vector<int> generated;
+  bool poisoned = (entry == nullptr);
+  if (entry != nullptr) {
+    // Mirrors generation.cc DecodeIncremental token for token; the
+    // cancellation / deadline probes only cut the loop short, they never
+    // change which token is picked.
+    std::vector<float> row = entry->last_row;
+    while (true) {
+      if (shutting_down_.load(std::memory_order_relaxed)) {
+        deliver(util::Status::Cancelled("server shutting down"));
+        return;  // cache entry dropped; the server is going away anyway
+      }
+      if (expired()) {
+        entry->session->Rewind(entry->mark);
+        cache_.Put(std::move(entry));
+        response.tokens = std::move(generated);
+        deliver(util::Status::DeadlineExceeded(
+            "deadline expired after " +
+            std::to_string(response.tokens.size()) + " tokens"));
+        return;
+      }
+      int next = ArgmaxRow(row.data(), vocab);
+      if (next == text::kEosId) break;
+      generated.push_back(next);
+      if (generated.size() >= max_new) break;
+      if (prompt_ids.size() + generated.size() >= max_seq) break;
+      util::Status step_status = retry_step(
+          [] { return FAULT_POINT("serve/decode_step"); }, "decode step");
+      if (!step_status.ok()) {
+        // Permanent mid-decode failure: the session's cache state is
+        // suspect, so poison-discard it and restart on the cacheless
+        // fallback instead of failing the request.
+        poisoned = true;
+        entry.reset();
+        break;
+      }
+      row = LastRow(entry->session->Decode(next));
+    }
+    if (!poisoned) {
+      entry->session->Rewind(entry->mark);
+      cache_.Put(std::move(entry));
+    }
+  }
+
+  // --- Degraded path: cacheless full-recompute fallback. ------------------
+  // Mirrors generation.cc DecodeFullRecompute exactly, so the token stream
+  // stays bit-identical to GreedyDecode even with the engine unavailable.
+  if (poisoned) {
+    metrics.degraded->Increment();
+    response.degraded = true;
+    response.prefix_hit = false;
+    generated.clear();
+    std::vector<int> sequence = prompt_ids;
+    for (size_t step = 0; step < max_new; ++step) {
+      if (shutting_down_.load(std::memory_order_relaxed)) {
+        deliver(util::Status::Cancelled("server shutting down"));
+        return;
+      }
+      if (expired()) {
+        response.tokens = std::move(generated);
+        deliver(util::Status::DeadlineExceeded(
+            "deadline expired after " +
+            std::to_string(response.tokens.size()) +
+            " tokens (degraded path)"));
+        return;
+      }
+      if (sequence.size() >= max_seq) break;
+      tensor::Tensor logits = lm_.Logits(sequence);
+      int next = ArgmaxRow(
+          logits.data() + (logits.dim(0) - 1) * vocab, vocab);
+      if (next == text::kEosId) break;
+      generated.push_back(next);
+      sequence.push_back(next);
+    }
+  }
+
+  response.tokens = std::move(generated);
+  util::StatusOr<std::string> text = tokenizer_.Decode(response.tokens);
+  if (!text.ok()) {
+    deliver(text.status());
+    return;
+  }
+  response.text = std::move(*text);
+  deliver(util::Status::OK());
+}
+
+}  // namespace infuserki::serve

@@ -1,0 +1,142 @@
+#ifndef INFUSERKI_SERVE_SERVER_H_
+#define INFUSERKI_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/transformer.h"
+#include "serve/prefix_cache.h"
+#include "text/tokenizer.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace infuserki::serve {
+
+/// Tuning knobs for InferenceServer (see DESIGN.md §10).
+struct ServeOptions {
+  /// Decode worker threads.
+  size_t num_workers = 2;
+  /// Admission-queue capacity: Submit() on a full queue sheds the request
+  /// with kResourceExhausted instead of queueing unbounded work.
+  size_t queue_capacity = 16;
+  /// KV-token budget for the prompt-prefix cache (0 disables caching).
+  size_t kv_budget_tokens = 1024;
+  /// Cap applied when a request leaves `max_new_tokens` at 0.
+  size_t default_max_new_tokens = 16;
+  /// Deadline applied when a request leaves `deadline` at zero; zero here
+  /// too means requests without a deadline run unbounded.
+  std::chrono::milliseconds default_deadline{0};
+  /// Retry policy for fault-injectable steps (tokenize / prefill / decode
+  /// step). The per-request deadline is threaded into `retry.deadline`
+  /// before each use, so retries never outlive their request.
+  util::RetryOptions retry;
+};
+
+/// One inference request. `max_new_tokens` 0 and `deadline` 0 fall back to
+/// the server-wide defaults.
+struct Request {
+  std::string prompt;
+  size_t max_new_tokens = 0;
+  std::chrono::milliseconds deadline{0};
+};
+
+/// Outcome of one request. `status` is OK for a served request (including
+/// degraded ones); kResourceExhausted for shed requests; kDeadlineExceeded
+/// when the deadline fired (tokens then holds the partial prefix decoded so
+/// far); kCancelled / kUnavailable around shutdown; kInvalidArgument for
+/// malformed input; other codes for permanent decode failures.
+struct Response {
+  util::Status status = util::Status::OK();
+  std::vector<int> tokens;  // newly generated ids (no prompt, no <eos>)
+  std::string text;         // decoded `tokens`
+  bool prefix_hit = false;  // served from a cached prefill
+  bool degraded = false;    // served by the cacheless fallback path
+  int retries = 0;          // transient faults absorbed by backoff
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Multi-threaded greedy-decode service over one TransformerLM.
+///
+/// Resilience contract (DESIGN.md §10): a bounded admission queue sheds
+/// load instead of queueing unbounded work; every request carries a
+/// deadline checked at token granularity (expiry returns the partial
+/// decode, never wedges a worker); prefilled prompt prefixes are reused
+/// across requests under an LRU KV-token budget; transient faults on the
+/// tokenize / prefill / decode-step fault points are retried with backoff,
+/// and a permanent mid-decode failure degrades the request to a cacheless
+/// full-recompute path instead of failing it. Served token streams are
+/// bit-exact with single-threaded GreedyDecode on both the cached and the
+/// degraded path.
+///
+/// Submit() is thread-safe. The model and tokenizer must outlive the
+/// server; workers only read them.
+class InferenceServer {
+ public:
+  InferenceServer(const model::TransformerLM& lm,
+                  const text::Tokenizer& tokenizer,
+                  ServeOptions options = {});
+
+  /// Drains the queue (cancelling queued requests) and joins workers.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a request. The future resolves when the request completes,
+  /// is shed (immediately, with kResourceExhausted), or is cancelled by
+  /// shutdown; it never blocks forever.
+  std::future<Response> Submit(Request request);
+
+  /// Synchronous convenience wrapper around Submit().
+  Response Run(Request request);
+
+  /// Stops accepting work, cancels queued requests (kUnavailable), lets
+  /// in-flight requests notice cancellation at the next token, and joins
+  /// the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Requests currently queued (excludes in-flight ones).
+  size_t queue_depth() const;
+
+  /// KV tokens currently held by the prefix cache.
+  size_t cached_tokens() const { return cache_.cached_tokens(); }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    // Absolute deadline; the epoch default means none.
+    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  void WorkerLoop();
+  void Process(Job* job);
+
+  const model::TransformerLM& lm_;
+  const text::Tokenizer& tokenizer_;
+  const ServeOptions options_;
+  PrefixCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  bool shutdown_started_ = false;
+  // Read mid-decode for cooperative cancellation without taking mu_.
+  std::atomic<bool> shutting_down_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace infuserki::serve
+
+#endif  // INFUSERKI_SERVE_SERVER_H_

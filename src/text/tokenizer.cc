@@ -83,12 +83,18 @@ std::vector<int> Tokenizer::EncodeWithSpecials(std::string_view text,
   return ids;
 }
 
-std::string Tokenizer::Decode(const std::vector<int>& ids) const {
+util::StatusOr<std::string> Tokenizer::Decode(
+    const std::vector<int>& ids) const {
   std::vector<std::string> words;
-  for (int id : ids) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int id = ids[i];
     if (id == kPadId || id == kBosId || id == kEosId) continue;
-    CHECK_GE(id, 0);
-    CHECK_LT(static_cast<size_t>(id), id_to_word_.size());
+    if (id < 0 || static_cast<size_t>(id) >= id_to_word_.size()) {
+      return util::Status::OutOfRange(
+          "token id " + std::to_string(id) + " at position " +
+          std::to_string(i) + " outside vocabulary of " +
+          std::to_string(id_to_word_.size()));
+    }
     words.push_back(id_to_word_[static_cast<size_t>(id)]);
   }
   return util::Join(words, " ");
@@ -104,8 +110,9 @@ bool Tokenizer::HasWord(const std::string& word) const {
 }
 
 const std::string& Tokenizer::IdToWord(int id) const {
-  CHECK_GE(id, 0);
-  CHECK_LT(static_cast<size_t>(id), id_to_word_.size());
+  if (id < 0 || static_cast<size_t>(id) >= id_to_word_.size()) {
+    return id_to_word_[kUnkId];
+  }
   return id_to_word_[static_cast<size_t>(id)];
 }
 

@@ -46,8 +46,11 @@ class Tokenizer {
   std::vector<int> EncodeWithSpecials(std::string_view text,
                                       bool add_eos) const;
 
-  /// Joins tokens with single spaces; specials are skipped.
-  std::string Decode(const std::vector<int>& ids) const;
+  /// Joins tokens with single spaces; specials are skipped. An out-of-range
+  /// id (negative or >= vocab_size) returns kOutOfRange naming the id and
+  /// position — malformed request input must surface as a per-request error
+  /// a serving layer can reject, never a process abort (DESIGN.md §10).
+  util::StatusOr<std::string> Decode(const std::vector<int>& ids) const;
 
   /// Id for `word` or kUnkId.
   int WordId(const std::string& word) const;
@@ -55,6 +58,8 @@ class Tokenizer {
   /// True when `word` is in the vocabulary.
   bool HasWord(const std::string& word) const;
 
+  /// Surface form for `id`; out-of-range ids map to the <unk> surface (the
+  /// same total-function contract as encoding unknown words).
   const std::string& IdToWord(int id) const;
 
   size_t vocab_size() const { return id_to_word_.size(); }

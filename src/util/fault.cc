@@ -162,6 +162,8 @@ uint64_t FaultRegistry::hits(const std::string& point) const {
 Status RetryWithBackoff(const std::function<Status()>& fn,
                         const RetryOptions& options,
                         const std::string& what) {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = options.deadline != Clock::time_point{};
   Status status;
   double delay_ms = static_cast<double>(options.base_delay_ms);
   for (int attempt = 1;; ++attempt) {
@@ -169,6 +171,20 @@ Status RetryWithBackoff(const std::function<Status()>& fn,
     if (status.ok() || status.code() != StatusCode::kInternal ||
         attempt >= options.max_attempts) {
       return status;
+    }
+    if (bounded) {
+      Clock::time_point resume =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 delay_ms));
+      if (resume >= options.deadline) {
+        LOG_WARNING << "transient failure"
+                    << (what.empty() ? "" : " (" + what + ")")
+                    << ": retry budget exhausted by deadline after attempt "
+                    << attempt << "/" << options.max_attempts << ": "
+                    << status;
+        return status;
+      }
     }
     LOG_WARNING << "transient failure" << (what.empty() ? "" : " (" + what +
                                                               ")")

@@ -2,6 +2,7 @@
 #define INFUSERKI_UTIL_FAULT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -87,11 +88,19 @@ struct RetryOptions {
   int max_attempts = 3;
   int base_delay_ms = 5;
   double multiplier = 2.0;
+  /// Overall deadline for the whole retry loop: once the deadline has
+  /// passed — or the next backoff sleep would overshoot it — no further
+  /// attempt is made and the last status is returned immediately. The
+  /// serving layer threads each request's deadline through here so retries
+  /// can never outlive the request they serve. The default (epoch) means
+  /// unbounded; the first attempt always runs, deadline or not.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Runs `fn` until it returns OK or a permanent error, retrying transient
 /// failures (StatusCode::kInternal — the class real I/O errors and injected
-/// faults use) with exponential backoff. Returns the last status.
+/// faults use) with exponential backoff, bounded by `options.deadline` when
+/// set. Returns the last status.
 Status RetryWithBackoff(const std::function<Status()>& fn,
                         const RetryOptions& options = {},
                         const std::string& what = "");

@@ -6,12 +6,18 @@ const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
     case StatusCode::kInvalidArgument:
       return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
     case StatusCode::kAlreadyExists:
       return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
     case StatusCode::kOutOfRange:
@@ -20,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
   }

@@ -14,13 +14,17 @@ namespace infuserki::util {
 /// library actually uses.
 enum class StatusCode : int {
   kOk = 0,
+  kCancelled = 1,
   kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
   kNotFound = 5,
   kAlreadyExists = 6,
+  kResourceExhausted = 8,
   kFailedPrecondition = 9,
   kOutOfRange = 11,
   kUnimplemented = 12,
   kInternal = 13,
+  kUnavailable = 14,
   kDataLoss = 15,
 };
 
@@ -43,8 +47,17 @@ class Status {
   Status& operator=(Status&&) = default;
 
   static Status OK() { return Status(); }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
@@ -63,6 +76,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -173,6 +174,71 @@ TEST(DurabilityFuzz, KgTsvRejectsAllCorruption) {
   std::remove(path.c_str());
 }
 
+/// Frames `payload_lines` exactly like kg::SaveTsv (header, CRC trailer),
+/// so the frame verifies and the parser — not the checksum — must reject
+/// the garbage inside.
+std::string FrameKgPayload(const std::vector<std::string>& payload_lines) {
+  std::string body;
+  for (const std::string& line : payload_lines) {
+    body += line;
+    body += '\n';
+  }
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", util::Crc32(body));
+  return "#ikgtsv2\t" + std::to_string(payload_lines.size()) + "\n" + body +
+         "#crc32\t" + std::string(crc_hex) + "\n";
+}
+
+TEST(KgTsv, GarbagePayloadLinesFailWithLineNumbersNeverCrash) {
+  // Every case passes the frame check (count + CRC recomputed over the
+  // garbage), so rejection must come from per-line parsing — as a Status
+  // carrying the 1-based line number, never a crash.
+  struct Case {
+    const char* name;
+    std::vector<std::string> lines;
+    size_t bad_line;  // 1-based, counting the frame header as line 1
+  } cases[] = {
+      {"two fields", {"a\tb"}, 2},
+      {"four fields", {"a\tb\tc\td"}, 2},
+      {"no tabs", {"justoneword"}, 2},
+      {"empty head", {"\trel\ttail"}, 2},
+      {"empty relation", {"head\t\ttail"}, 2},
+      {"empty tail", {"head\trel\t"}, 2},
+      {"all empty", {"\t\t"}, 2},
+      {"malformed relation header", {"#relation\tonly_two"}, 2},
+      {"control bytes", {std::string("he\x01llo\tr\tt")}, 2},
+      {"duplicate head+relation",
+       {"a\tr\tb", "a\tr\tc"},
+       3},
+      {"garbage after valid lines",
+       {"a\tr\tb", "x\ty"},
+       3},
+  };
+  std::string path = ::testing::TempDir() + "/kg_garbage.tsv";
+  for (const Case& c : cases) {
+    WriteFile(path, FrameKgPayload(c.lines));
+    auto loaded = kg::LoadTsv(path);
+    ASSERT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+        << c.name << ": " << loaded.status().ToString();
+    std::string needle = ":" + std::to_string(c.bad_line) + ":";
+    EXPECT_NE(loaded.status().message().find(needle), std::string::npos)
+        << c.name << " should name line " << c.bad_line << ", got: "
+        << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KgTsv, CrlfPayloadLinesParse) {
+  std::string path = ::testing::TempDir() + "/kg_crlf.tsv";
+  WriteFile(path, FrameKgPayload({"london\tcapital_of\tengland\r"}));
+  auto loaded = kg::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_triplets(), size_t{1});
+  EXPECT_GE(loaded->FindEntity("england"), 0);
+  std::remove(path.c_str());
+}
+
 TEST(KgTsv, LegacyHeaderlessFilesStillLoad) {
   std::string path = ::testing::TempDir() + "/kg_legacy.tsv";
   WriteFile(path, "london\tcapital_of\tengland\n");
@@ -289,6 +355,51 @@ TEST(FaultRegistry, ProbabilisticStreamIsDeterministic) {
   // astronomically unlikely — and useless for testing.
   EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
   EXPECT_NE(std::count(first.begin(), first.end(), true), 32);
+  faults.Clear();
+}
+
+TEST(RetryWithBackoff, OverallDeadlineStopsRetryingEarly) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  ASSERT_TRUE(faults.Configure("test/point=fail@1+").ok());
+  // 50 attempts at a flat 40 ms backoff would take ~2 s; a 60 ms budget
+  // must cut the loop off after at most a couple of attempts and hand back
+  // the last underlying error (not a synthetic deadline status).
+  util::RetryOptions options{
+      .max_attempts = 50, .base_delay_ms = 40, .multiplier = 1.0};
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+  util::Status status = util::RetryWithBackoff(
+      [&] { return faults.Hit("test/point"); }, options, "deadline test");
+  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_GE(faults.hits("test/point"), uint64_t{1});
+  EXPECT_LT(faults.hits("test/point"), uint64_t{6});
+  faults.Clear();
+}
+
+TEST(RetryWithBackoff, ExpiredDeadlineStillRunsFirstAttempt) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  ASSERT_TRUE(faults.Configure("test/point=fail@1+").ok());
+  util::RetryOptions options{.max_attempts = 5, .base_delay_ms = 1};
+  options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  util::Status status = util::RetryWithBackoff(
+      [&] { return faults.Hit("test/point"); }, options, "expired test");
+  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(faults.hits("test/point"), uint64_t{1});
+  faults.Clear();
+}
+
+TEST(RetryWithBackoff, NoDeadlineExhaustsAllAttempts) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  ASSERT_TRUE(faults.Configure("test/point=fail@1+").ok());
+  util::RetryOptions options{.max_attempts = 4, .base_delay_ms = 1};
+  util::Status status = util::RetryWithBackoff(
+      [&] { return faults.Hit("test/point"); }, options, "unbounded test");
+  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(faults.hits("test/point"), uint64_t{4});
   faults.Clear();
 }
 

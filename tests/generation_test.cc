@@ -38,7 +38,7 @@ TEST_F(TrainedLmFixture, GreedyDecodesTrainedResponse) {
   std::vector<int> prompt = base_->tokenizer.EncodeWithSpecials(
       "question : color of sky ? answer :", false);
   std::vector<int> generated = GreedyDecode(*base_->lm, prompt, 6);
-  std::string text = base_->tokenizer.Decode(generated);
+  std::string text = base_->tokenizer.Decode(generated).value();
   EXPECT_EQ(text, "blue ink");
 }
 

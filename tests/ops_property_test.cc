@@ -172,7 +172,7 @@ TEST_P(TokenizerSweep, EncodeDecodeRoundTripOnKgText) {
     // No unknown tokens on the build corpus.
     for (int id : ids) EXPECT_NE(id, text::kUnkId) << doc;
     // Round trip is the normalized (lower-case, space-separated) form.
-    std::string decoded = tokenizer.Decode(ids);
+    std::string decoded = tokenizer.Decode(ids).value();
     std::vector<int> again = tokenizer.Encode(decoded);
     EXPECT_EQ(ids, again) << doc;
   }

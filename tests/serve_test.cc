@@ -1,0 +1,368 @@
+// Behavioral suite for the resilient serving layer (DESIGN.md §10): served
+// token streams must stay bit-exact with single-threaded GreedyDecode
+// through prefix reuse, load shedding, deadline expiry, transient-fault
+// retries, KV-budget eviction, and the poisoned-session degraded path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/generation.h"
+#include "model/transformer.h"
+#include "obs/metrics.h"
+#include "serve/prefix_cache.h"
+#include "serve/server.h"
+#include "text/tokenizer.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace infuserki::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Shared untrained model + tokenizer. Untrained weights are fine: the
+/// suite compares served streams against GreedyDecode on the same model,
+/// not against meaningful text.
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<std::string> corpus = {
+        "alpha beta gamma delta epsilon zeta eta theta",
+        "iota kappa lambda mu nu xi omicron pi rho sigma tau",
+    };
+    tokenizer_ = new text::Tokenizer(text::Tokenizer::Build(corpus));
+    model::TransformerConfig config;
+    config.vocab_size = tokenizer_->vocab_size();
+    config.dim = 16;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.ffn_hidden = 32;
+    config.max_seq_len = 32;
+    util::Rng rng(7);
+    lm_ = new model::TransformerLM(config, &rng);
+  }
+  static void TearDownTestSuite() {
+    delete lm_;
+    delete tokenizer_;
+    lm_ = nullptr;
+    tokenizer_ = nullptr;
+  }
+
+  void SetUp() override { util::FaultRegistry::Get().Clear(); }
+  void TearDown() override { util::FaultRegistry::Get().Clear(); }
+
+  static std::vector<int> Reference(const std::string& prompt,
+                                    size_t max_new) {
+    return model::GreedyDecode(
+        *lm_, tokenizer_->EncodeWithSpecials(prompt, false), max_new);
+  }
+
+  /// First candidate prompt whose greedy continuation has at least
+  /// `min_tokens` tokens — tests that need mid-decode events (faults,
+  /// cancellation) must decode more than one token, and what an untrained
+  /// model emits per prompt is arbitrary.
+  static std::string PromptWithLongReference(size_t min_tokens,
+                                             size_t max_new) {
+    const std::vector<std::string> candidates = {
+        "alpha beta gamma",  "iota kappa",    "sigma tau alpha",
+        "delta epsilon",     "mu nu xi pi",   "theta iota omicron",
+        "beta delta zeta",   "rho sigma",     "eta theta alpha beta",
+    };
+    for (const std::string& prompt : candidates) {
+      if (Reference(prompt, max_new).size() >= min_tokens) return prompt;
+    }
+    ADD_FAILURE() << "no candidate prompt decodes " << min_tokens
+                  << " tokens";
+    return candidates[0];
+  }
+
+  static model::TransformerLM* lm_;
+  static text::Tokenizer* tokenizer_;
+};
+
+model::TransformerLM* ServeFixture::lm_ = nullptr;
+text::Tokenizer* ServeFixture::tokenizer_ = nullptr;
+
+TEST_F(ServeFixture, ServesBitExactGreedyDecodeAndReusesPrefix) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.kv_budget_tokens = 256;
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  const std::string prompt = "alpha beta gamma";
+  std::vector<int> reference = Reference(prompt, 8);
+
+  Response first = server.Run({prompt, 8});
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_EQ(first.tokens, reference);
+  EXPECT_EQ(first.text, tokenizer_->Decode(reference).value());
+  EXPECT_FALSE(first.prefix_hit);
+  EXPECT_FALSE(first.degraded);
+
+  Response second = server.Run({prompt, 8});
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  EXPECT_TRUE(second.prefix_hit);
+  EXPECT_EQ(second.tokens, reference);
+}
+
+TEST_F(ServeFixture, TransientDecodeFaultIsRetriedBitExact) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  std::string prompt = PromptWithLongReference(2, 8);
+  std::vector<int> reference = Reference(prompt, 8);
+
+  ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
+  ServeOptions options;
+  options.num_workers = 1;
+  options.retry = {.max_attempts = 3, .base_delay_ms = 1};
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  Response response = server.Run({prompt, 8});
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.tokens, reference);
+  EXPECT_GE(response.retries, 1);
+  EXPECT_FALSE(response.degraded);
+}
+
+TEST_F(ServeFixture, PoisonedSessionDegradesToCachelessBitExact) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  std::string prompt = PromptWithLongReference(2, 8);
+  std::vector<int> reference = Reference(prompt, 8);
+
+  ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1+").ok());
+  ServeOptions options;
+  options.num_workers = 1;
+  options.retry = {.max_attempts = 2, .base_delay_ms = 1};
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  Response response = server.Run({prompt, 8});
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_TRUE(response.degraded);
+  EXPECT_FALSE(response.prefix_hit);
+  EXPECT_EQ(response.tokens, reference);
+  // The poisoned session must not have been returned to the cache.
+  EXPECT_EQ(server.cached_tokens(), size_t{0});
+}
+
+TEST_F(ServeFixture, PermanentPrefillFaultDegradesBitExact) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  const std::string prompt = "iota kappa lambda";
+  std::vector<int> reference = Reference(prompt, 6);
+
+  ASSERT_TRUE(faults.Configure("serve/prefill=fail@1+").ok());
+  ServeOptions options;
+  options.num_workers = 1;
+  options.retry = {.max_attempts = 2, .base_delay_ms = 1};
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  Response response = server.Run({prompt, 6});
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.tokens, reference);
+}
+
+TEST_F(ServeFixture, ShedsWithResourceExhaustedWhenQueueIsFull) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  std::string prompt = PromptWithLongReference(2, 4);
+  // Stall the single worker inside a retry backoff (one transient decode
+  // fault, 500 ms delay) so the flood below races only against a sleeping
+  // thread, not against real decode speed.
+  ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
+  ServeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.retry = {
+      .max_attempts = 2, .base_delay_ms = 500, .multiplier = 1.0};
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  std::future<Response> stalled = server.Submit({prompt, 4});
+  while (server.queue_depth() > 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+
+  std::vector<std::future<Response>> flood;
+  for (int i = 0; i < 6; ++i) flood.push_back(server.Submit({prompt, 4}));
+  int shed = 0;
+  int served = 0;
+  for (std::future<Response>& f : flood) {
+    Response r = f.get();
+    if (r.status.code() == util::StatusCode::kResourceExhausted) {
+      ++shed;
+    } else if (r.status.ok()) {
+      ++served;
+    }
+  }
+  // Queue capacity 2: of the 6 requests flooded while the worker slept,
+  // exactly 4 must shed — and shedding resolves immediately, it never
+  // waits behind the stalled worker.
+  EXPECT_EQ(shed, 4);
+  EXPECT_EQ(served, 2);
+  Response first = stalled.get();
+  EXPECT_TRUE(first.status.ok()) << first.status;
+  EXPECT_GE(first.retries, 1);
+}
+
+TEST_F(ServeFixture, DeadlineExpiredInQueueReturnsDeadlineExceeded) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  std::string prompt = PromptWithLongReference(2, 4);
+  ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
+  ServeOptions options;
+  options.num_workers = 1;
+  options.retry = {
+      .max_attempts = 2, .base_delay_ms = 300, .multiplier = 1.0};
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  std::future<Response> stalled = server.Submit({prompt, 4});
+  while (server.queue_depth() > 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  Request tight;
+  tight.prompt = prompt;
+  tight.max_new_tokens = 4;
+  tight.deadline = milliseconds(5);
+  Response late = server.Run(std::move(tight));
+  EXPECT_EQ(late.status.code(), util::StatusCode::kDeadlineExceeded)
+      << late.status;
+  EXPECT_TRUE(stalled.get().status.ok());
+}
+
+TEST_F(ServeFixture, EvictionKeepsCachedTokensUnderBudget) {
+  obs::Registry::Get().ResetAll();
+  const std::string prompt_a = "alpha beta gamma delta";
+  const std::string prompt_b = "iota kappa lambda mu";
+  size_t len_a = tokenizer_->EncodeWithSpecials(prompt_a, false).size();
+
+  ServeOptions options;
+  options.num_workers = 1;
+  options.kv_budget_tokens = len_a;  // room for exactly one prompt
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  ASSERT_TRUE(server.Run({prompt_a, 4}).status.ok());
+  EXPECT_EQ(server.cached_tokens(), len_a);
+  ASSERT_TRUE(server.Run({prompt_b, 4}).status.ok());  // evicts A
+  EXPECT_LE(server.cached_tokens(), options.kv_budget_tokens);
+
+  Response again = server.Run({prompt_a, 4});
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_FALSE(again.prefix_hit);  // A was evicted, so this re-prefilled
+  EXPECT_GE(obs::Registry::Get()
+                .GetCounter("serve/evictions")
+                ->Value(),
+            uint64_t{1});
+  EXPECT_LE(server.cached_tokens(), options.kv_budget_tokens);
+}
+
+TEST_F(ServeFixture, ZeroBudgetDisablesCachingButStillServes) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.kv_budget_tokens = 0;
+  InferenceServer server(*lm_, *tokenizer_, options);
+  const std::string prompt = "rho sigma tau";
+  std::vector<int> reference = Reference(prompt, 6);
+  for (int i = 0; i < 2; ++i) {
+    Response response = server.Run({prompt, 6});
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.prefix_hit);
+    EXPECT_EQ(response.tokens, reference);
+  }
+  EXPECT_EQ(server.cached_tokens(), size_t{0});
+}
+
+TEST_F(ServeFixture, OverlongPromptIsRejectedWithoutKillingTheServer) {
+  ServeOptions options;
+  options.num_workers = 1;
+  InferenceServer server(*lm_, *tokenizer_, options);
+  std::string overlong;
+  for (int i = 0; i < 40; ++i) overlong += "alpha ";  // > max_seq_len ids
+  Response bad = server.Run({overlong, 4});
+  EXPECT_EQ(bad.status.code(), util::StatusCode::kInvalidArgument)
+      << bad.status;
+  Response good = server.Run({"alpha beta", 4});
+  EXPECT_TRUE(good.status.ok()) << good.status;
+}
+
+TEST_F(ServeFixture, ShutdownCancelsQueuedAndRejectsNewRequests) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  std::string prompt = PromptWithLongReference(2, 8);
+  ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
+  auto server = std::make_unique<InferenceServer>(
+      *lm_, *tokenizer_,
+      ServeOptions{.num_workers = 1,
+                   .retry = {.max_attempts = 2,
+                             .base_delay_ms = 300,
+                             .multiplier = 1.0}});
+
+  std::future<Response> in_flight = server->Submit({prompt, 8});
+  while (server->queue_depth() > 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  std::future<Response> queued = server->Submit({prompt, 8});
+  server->Shutdown();
+
+  Response cancelled = queued.get();
+  EXPECT_EQ(cancelled.status.code(), util::StatusCode::kUnavailable)
+      << cancelled.status;
+  // The in-flight request either finished or noticed cancellation at a
+  // token boundary — both are clean exits; what matters is that Shutdown
+  // never wedged and the promise resolved.
+  Response first = in_flight.get();
+  EXPECT_TRUE(first.status.ok() ||
+              first.status.code() == util::StatusCode::kCancelled)
+      << first.status;
+
+  Response rejected = server->Run({prompt, 4});
+  EXPECT_EQ(rejected.status.code(), util::StatusCode::kUnavailable);
+}
+
+TEST(PrefixCacheUnit, TakeRemovesAndPutRestores) {
+  PrefixCache cache(/*budget_tokens=*/16);
+  auto entry = std::make_unique<PrefixCache::Entry>();
+  entry->prompt = {1, 5, 6};
+  cache.Put(std::move(entry));
+  EXPECT_EQ(cache.entries(), size_t{1});
+  EXPECT_EQ(cache.cached_tokens(), size_t{3});
+
+  EXPECT_EQ(cache.Take({9, 9}), nullptr);
+  std::unique_ptr<PrefixCache::Entry> taken = cache.Take({1, 5, 6});
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(cache.entries(), size_t{0});
+  EXPECT_EQ(cache.cached_tokens(), size_t{0});
+  EXPECT_EQ(cache.Take({1, 5, 6}), nullptr);  // exclusive ownership
+
+  cache.Put(std::move(taken));
+  EXPECT_EQ(cache.entries(), size_t{1});
+}
+
+TEST(PrefixCacheUnit, EvictsLeastRecentlyUsedUnderBudget) {
+  PrefixCache cache(/*budget_tokens=*/10);
+  auto make = [](std::vector<int> prompt) {
+    auto entry = std::make_unique<PrefixCache::Entry>();
+    entry->prompt = std::move(prompt);
+    return entry;
+  };
+  cache.Put(make({1, 2, 3, 4}));
+  cache.Put(make({5, 6, 7, 8}));
+  // Touch {1,2,3,4} so {5,6,7,8} becomes the LRU victim.
+  cache.Put(cache.Take({1, 2, 3, 4}));
+  cache.Put(make({9, 10, 11, 12}));  // 12 tokens > 10: evict LRU
+  EXPECT_LE(cache.cached_tokens(), size_t{10});
+  EXPECT_EQ(cache.Take({5, 6, 7, 8}), nullptr);
+  EXPECT_NE(cache.Take({1, 2, 3, 4}), nullptr);
+}
+
+TEST(PrefixCacheUnit, OversizedEntryIsDroppedImmediately) {
+  PrefixCache cache(/*budget_tokens=*/3);
+  auto entry = std::make_unique<PrefixCache::Entry>();
+  entry->prompt = {1, 2, 3, 4, 5};
+  cache.Put(std::move(entry));
+  EXPECT_EQ(cache.entries(), size_t{0});
+  EXPECT_EQ(cache.cached_tokens(), size_t{0});
+}
+
+}  // namespace
+}  // namespace infuserki::serve

@@ -44,7 +44,33 @@ TEST(Tokenizer, RoundTripDecode) {
       tokenizer.EncodeWithSpecials("alpha gamma", /*add_eos=*/true);
   EXPECT_EQ(ids.front(), kBosId);
   EXPECT_EQ(ids.back(), kEosId);
-  EXPECT_EQ(tokenizer.Decode(ids), "alpha gamma");
+  EXPECT_EQ(tokenizer.Decode(ids).value(), "alpha gamma");
+}
+
+TEST(Tokenizer, DecodeRejectsOutOfRangeIdsWithoutAborting) {
+  Tokenizer tokenizer = Tokenizer::Build({"alpha beta gamma"});
+  int bad = static_cast<int>(tokenizer.vocab_size());
+  util::StatusOr<std::string> decoded =
+      tokenizer.Decode({kBosId, 4, bad, kEosId});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kOutOfRange);
+  // The error names the offending id and its position for request logs.
+  EXPECT_NE(decoded.status().message().find(std::to_string(bad)),
+            std::string::npos);
+
+  util::StatusOr<std::string> negative = tokenizer.Decode({-7});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), util::StatusCode::kOutOfRange);
+
+  // Valid ids still decode on the same tokenizer afterwards.
+  EXPECT_EQ(tokenizer.Decode({4}).value(), tokenizer.IdToWord(4));
+}
+
+TEST(Tokenizer, IdToWordIsTotal) {
+  Tokenizer tokenizer = Tokenizer::Build({"alpha beta"});
+  EXPECT_EQ(tokenizer.IdToWord(-1), "<unk>");
+  EXPECT_EQ(tokenizer.IdToWord(static_cast<int>(tokenizer.vocab_size())),
+            "<unk>");
 }
 
 TEST(Tokenizer, MinCountFilters) {
