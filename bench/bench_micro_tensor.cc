@@ -1,20 +1,26 @@
 // Engineering micro-benchmarks (google-benchmark) for the tensor/autograd
 // substrate: the per-op costs that dominate experiment wall-clock.
 //
-// Accepts --metrics_out=<path> / --trace_out=<path> in addition to the
-// standard google-benchmark flags; these are stripped from argv before
-// benchmark::Initialize (which rejects flags it does not know).
+// Accepts --metrics_out=<path> / --trace_out=<path> plus the live-export
+// flags --metrics_export_every=<ms> / --metrics_export_ndjson=<path> /
+// --prom_out=<path> in addition to the standard google-benchmark flags;
+// these are stripped from argv before benchmark::Initialize (which rejects
+// flags it does not know).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "model/decode_session.h"
 #include "model/pretrain.h"
 #include "model/transformer.h"
+#include "obs/exporter.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -298,8 +304,20 @@ int main(int argc, char** argv) {
     }
   }
   decode_compare |= TakeFlag(&argc, argv, "decode_compare") == "1";
+  std::string export_every = TakeFlag(&argc, argv, "metrics_export_every");
+  infuserki::obs::ExporterOptions exporter_options;
+  exporter_options.period = std::chrono::milliseconds(
+      export_every.empty() ? 0 : std::atoll(export_every.c_str()));
+  exporter_options.ndjson_path =
+      TakeFlag(&argc, argv, "metrics_export_ndjson");
+  exporter_options.prometheus_path = TakeFlag(&argc, argv, "prom_out");
   if (!metrics_out.empty() || !trace_out.empty()) {
     infuserki::obs::Tracer::Get().Enable();
+  }
+  std::unique_ptr<infuserki::obs::MetricsExporter> exporter;
+  if (exporter_options.period.count() > 0) {
+    exporter = std::make_unique<infuserki::obs::MetricsExporter>(
+        exporter_options);
   }
 
   benchmark::Initialize(&argc, argv);

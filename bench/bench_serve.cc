@@ -8,19 +8,31 @@
 //
 // Flags: --workers=1,2,4 (comma list) --requests=96 --queue=32
 // --kv_budget=64 --max_new=8 --deadline_ms=0 (0 = none) --seed=17
-// plus the shared --trace_out / --metrics_out observability outputs.
+// --bench_json=<path> (SLO trajectory output, e.g. BENCH_serve.json)
+// plus the shared --trace_out / --metrics_out / --metrics_export_every /
+// --metrics_export_ndjson / --prom_out observability outputs.
+//
+// Latency quantiles are derived from the obs registry's exponential-bucket
+// histograms and cross-checked against this binary's own sorted-vector
+// percentiles: both must land in the same (or an adjacent) histogram
+// bucket, printed as the "serve_quantiles=ok" gate line.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <future>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "model/transformer.h"
+#include "obs/atomic_io.h"
+#include "obs/json.h"
+#include "obs/slo_report.h"
 #include "serve/server.h"
 #include "text/tokenizer.h"
 #include "util/flags.h"
@@ -40,11 +52,77 @@ std::vector<size_t> ParseWorkerList(const std::string& spec) {
   return workers;
 }
 
-/// Latency percentile over completed requests (nearest-rank).
-double PercentileMs(std::vector<double> sorted_seconds, double p) {
+/// Latency percentile over completed requests, nearest-rank with
+/// k = ceil(p * n) — the same rank convention as obs::HistogramQuantile,
+/// so the cross-check below compares the same underlying sample.
+double PercentileMs(const std::vector<double>& sorted_seconds, double p) {
   if (sorted_seconds.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(p * (sorted_seconds.size() - 1));
-  return sorted_seconds[rank] * 1e3;
+  size_t n = sorted_seconds.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(n)));
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  return sorted_seconds[rank - 1] * 1e3;
+}
+
+/// "Within one bucket": the obs-derived quantile and the sorted-vector
+/// reference must land in the same or an adjacent exponential bucket
+/// (adjacency absorbs boundary interpolation), i.e. within 2x relative.
+bool WithinOneBucket(double obs_ms, double local_ms) {
+  double obs_s = obs_ms * 1e-3;
+  double local_s = local_ms * 1e-3;
+  size_t obs_bucket = obs::Histogram::BucketIndexFor(obs_s);
+  size_t local_bucket = obs::Histogram::BucketIndexFor(local_s);
+  size_t hi = std::max(obs_bucket, local_bucket);
+  size_t lo = std::min(obs_bucket, local_bucket);
+  return hi - lo <= 1;
+}
+
+/// One worker-count round of the sweep, as persisted to --bench_json.
+struct RoundResult {
+  size_t workers = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t deadline = 0;
+  uint64_t degraded = 0;
+  double shed_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double ttft_p50_ms = 0.0;
+  double ttft_p99_ms = 0.0;
+  double inter_token_p50_ms = 0.0;
+  double inter_token_p99_ms = 0.0;
+  double req_per_s = 0.0;
+};
+
+std::string RoundJson(const RoundResult& round) {
+  obs::JsonWriter out;
+  out.AddUint("workers", round.workers)
+      .AddUint("completed", round.completed)
+      .AddUint("shed", round.shed)
+      .AddUint("deadline_misses", round.deadline)
+      .AddUint("degraded", round.degraded)
+      .AddNumber("shed_rate", round.shed_rate)
+      .AddNumber("p50_ms", round.p50_ms)
+      .AddNumber("p99_ms", round.p99_ms)
+      .AddNumber("p999_ms", round.p999_ms)
+      .AddNumber("ttft_p50_ms", round.ttft_p50_ms)
+      .AddNumber("ttft_p99_ms", round.ttft_p99_ms)
+      .AddNumber("inter_token_p50_ms", round.inter_token_p50_ms)
+      .AddNumber("inter_token_p99_ms", round.inter_token_p99_ms)
+      .AddNumber("req_per_s", round.req_per_s);
+  return out.Finish();
+}
+
+/// Cumulative-delta view of one histogram between two registry snapshots.
+obs::HistogramStats HistogramDelta(const obs::Registry::Snapshot& before,
+                                   const obs::Registry::Snapshot& after,
+                                   const std::string& name) {
+  auto after_it = after.histograms.find(name);
+  if (after_it == after.histograms.end()) return obs::HistogramStats{};
+  auto before_it = before.histograms.find(name);
+  if (before_it == before.histograms.end()) return after_it->second;
+  return obs::SubtractHistogramStats(after_it->second, before_it->second);
 }
 
 struct CounterSnapshot {
@@ -81,6 +159,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("kv_budget", 64));
   const size_t max_new = static_cast<size_t>(flags.GetInt("max_new", 8));
   const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
+  const std::string bench_json = flags.GetString("bench_json", "");
 
   obs_session.manifest().AddConfig("requests",
                                    static_cast<int64_t>(requests));
@@ -116,18 +195,28 @@ int main(int argc, char** argv) {
   };
 
   util::TablePrinter table({"workers", "completed", "shed", "deadline",
-                            "degraded", "p50_ms", "p99_ms", "req_per_s"});
+                            "degraded", "p50_ms", "p99_ms", "p999_ms",
+                            "ttft_p50_ms", "req_per_s"});
+  // Each round's server owns the export thread (queue-depth sampling per
+  // tick); taking the options stops the session's own exporter so the two
+  // never write the same files.
+  obs::ExporterOptions exporter_options = obs_session.TakeExporterOptions();
   obs::Registry& registry = obs::Registry::Get();
   bool accounting_ok = true;
+  bool quantiles_ok = true;
+  std::vector<RoundResult> rounds;
+  obs::Registry::Snapshot run_before = registry.TakeSnapshot();
 
   for (size_t workers : worker_counts) {
     CounterSnapshot before = ReadCounters();
+    obs::Registry::Snapshot round_before = registry.TakeSnapshot();
     serve::ServeOptions options;
     options.num_workers = workers;
     options.queue_capacity = queue;
     options.kv_budget_tokens = kv_budget;
     options.default_max_new_tokens = max_new;
     options.retry = {.max_attempts = 3, .base_delay_ms = 1};
+    options.exporter = exporter_options;
     serve::InferenceServer server(lm, tokenizer, options);
 
     util::Stopwatch watch;
@@ -169,16 +258,68 @@ int main(int argc, char** argv) {
                 << " classified=" << classified << "\n";
     }
 
+    // Headline quantiles come from the obs registry's exponential-bucket
+    // histograms; the locally sorted latency vector is kept as the
+    // cross-check reference ("within one bucket" = same underlying rank,
+    // bounded bucket-interpolation error).
+    obs::Registry::Snapshot round_after = registry.TakeSnapshot();
+    obs::HistogramStats e2e =
+        HistogramDelta(round_before, round_after, "serve/e2e_ok_seconds");
+    obs::HistogramStats ttft =
+        HistogramDelta(round_before, round_after, "serve/ttft_seconds");
+    obs::HistogramStats inter_token = HistogramDelta(
+        round_before, round_after, "serve/inter_token_seconds");
+
     std::sort(latencies.begin(), latencies.end());
-    double p50 = PercentileMs(latencies, 0.50);
-    double p99 = PercentileMs(latencies, 0.99);
+    double p50 = e2e.p50 * 1e3;
+    double p99 = e2e.p99 * 1e3;
+    double p999 = e2e.p999 * 1e3;
+    double local_p50 = PercentileMs(latencies, 0.50);
+    double local_p99 = PercentileMs(latencies, 0.99);
+    if (!latencies.empty()) {
+      if (e2e.count != latencies.size()) {
+        quantiles_ok = false;
+        std::cerr << "quantile count mismatch at workers=" << workers
+                  << ": obs=" << e2e.count
+                  << " local=" << latencies.size() << "\n";
+      }
+      if (!WithinOneBucket(p50, local_p50) ||
+          !WithinOneBucket(p99, local_p99)) {
+        quantiles_ok = false;
+        std::cerr << "quantile divergence at workers=" << workers
+                  << ": obs p50_ms=" << p50 << " local=" << local_p50
+                  << ", obs p99_ms=" << p99 << " local=" << local_p99
+                  << "\n";
+      }
+    }
     double throughput =
         elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+
+    RoundResult round;
+    round.workers = workers;
+    round.completed = completed;
+    round.shed = shed;
+    round.deadline = deadline;
+    round.degraded = degraded;
+    round.shed_rate = round_requests > 0
+                          ? static_cast<double>(shed) /
+                                static_cast<double>(round_requests)
+                          : 0.0;
+    round.p50_ms = p50;
+    round.p99_ms = p99;
+    round.p999_ms = p999;
+    round.ttft_p50_ms = ttft.p50 * 1e3;
+    round.ttft_p99_ms = ttft.p99 * 1e3;
+    round.inter_token_p50_ms = inter_token.p50 * 1e3;
+    round.inter_token_p99_ms = inter_token.p99 * 1e3;
+    round.req_per_s = throughput;
+    rounds.push_back(round);
 
     table.AddRow({std::to_string(workers), std::to_string(completed),
                   std::to_string(shed), std::to_string(deadline),
                   std::to_string(degraded), util::FormatFloat(p50, 2),
-                  util::FormatFloat(p99, 2),
+                  util::FormatFloat(p99, 2), util::FormatFloat(p999, 2),
+                  util::FormatFloat(round.ttft_p50_ms, 2),
                   util::FormatFloat(throughput, 1)});
     std::cout << "serve_bench: workers=" << workers
               << " requests=" << round_requests
@@ -190,6 +331,10 @@ int main(int argc, char** argv) {
               << " prefix_hits=" << (after.prefix_hits - before.prefix_hits)
               << " p50_ms=" << util::FormatFloat(p50, 3)
               << " p99_ms=" << util::FormatFloat(p99, 3)
+              << " p999_ms=" << util::FormatFloat(p999, 3)
+              << " ttft_p50_ms=" << util::FormatFloat(round.ttft_p50_ms, 3)
+              << " inter_token_p50_ms="
+              << util::FormatFloat(round.inter_token_p50_ms, 3)
               << " req_per_s=" << util::FormatFloat(throughput, 1) << "\n";
 
     // Published per worker count under the bench_* glob (DESIGN.md §6) so
@@ -197,6 +342,8 @@ int main(int argc, char** argv) {
     // overwrite earlier ones, the table keeps the full sweep.
     registry.GetGauge("serve/bench_p50_ms")->Set(p50);
     registry.GetGauge("serve/bench_p99_ms")->Set(p99);
+    registry.GetGauge("serve/bench_p999_ms")->Set(p999);
+    registry.GetGauge("serve/bench_ttft_p50_ms")->Set(round.ttft_p50_ms);
     registry.GetGauge("serve/bench_req_per_s")->Set(throughput);
     registry.GetGauge("serve/bench_completed")
         ->Set(static_cast<double>(completed));
@@ -209,6 +356,39 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "\nserve_accounting=" << (accounting_ok ? "ok" : "FAILED")
             << "\n";
+  std::cout << "serve_quantiles=" << (quantiles_ok ? "ok" : "FAILED")
+            << "\n";
+
+  // SLO trajectory point (ROADMAP items 2 and 5): per-round quantiles plus
+  // the whole-run SLO summary, everything sourced from the obs registry.
+  if (!bench_json.empty()) {
+    obs::Registry::Snapshot run_after = registry.TakeSnapshot();
+    obs::SloReport slo = obs::BuildSloReport(run_before, run_after);
+    obs::JsonWriter config_json;
+    config_json.AddUint("requests", requests)
+        .AddUint("queue", queue)
+        .AddUint("kv_budget", kv_budget)
+        .AddUint("max_new", max_new)
+        .AddInt("deadline_ms", deadline_ms);
+    std::ostringstream rounds_json;
+    rounds_json << "[";
+    for (size_t i = 0; i < rounds.size(); ++i) {
+      if (i > 0) rounds_json << ",";
+      rounds_json << RoundJson(rounds[i]);
+    }
+    rounds_json << "]";
+    obs::JsonWriter out;
+    out.AddString("bench", "bench_serve")
+        .AddUint("schema", 1)
+        .AddRaw("config", config_json.Finish())
+        .AddRaw("rounds", rounds_json.str())
+        .AddRaw("slo", obs::SloReportJson(slo));
+    if (obs::WriteFileAtomically(bench_json, out.Finish() + "\n")) {
+      std::cout << "(wrote SLO trajectory " << bench_json << ")\n";
+    } else {
+      std::cerr << "bench_json write failed: " << bench_json << "\n";
+    }
+  }
   obs_session.Finish();
-  return accounting_ok ? 0 : 1;
+  return (accounting_ok && quantiles_ok) ? 0 : 1;
 }

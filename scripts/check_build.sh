@@ -18,11 +18,15 @@
 #    with parameters bit-identical to an uninterrupted run.
 # 6. Runs the serving chaos smoke: bench_serve flooded under injected
 #    compute + I/O faults with an undersized KV budget must keep its
-#    request accounting conserved ("serve_accounting=ok") and exit 0.
+#    request accounting conserved ("serve_accounting=ok"), keep its
+#    obs-derived latency quantiles within one bucket of the sorted-vector
+#    reference ("serve_quantiles=ok"), exit 0, emit a schema-valid
+#    BENCH_serve.json trajectory file, and leave a non-empty NDJSON
+#    metrics stream behind from the live exporter.
 # 7. Builds the ThreadSanitizer preset and runs the concurrency gate
-#    (race_stress_test plus the threadpool / kv-cache / obs / serve
-#    suites, including the chaos soak) with fail-fast TSAN_OPTIONS — zero
-#    reports allowed (tsan.supp is reserved for documented third-party
+#    (race_stress_test plus the threadpool / kv-cache / obs / exporter /
+#    serve suites, including the chaos soak) with fail-fast TSAN_OPTIONS —
+#    zero reports allowed (tsan.supp is reserved for documented third-party
 #    noise; see DESIGN.md §9).
 # 8. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
 #    the LLVM tools are installed (skipped with a notice otherwise — the
@@ -150,14 +154,54 @@ echo "crash/resume smoke OK: resumed from step 40, params CRC $RESUMED_CRC"
 echo "== serve chaos smoke: bench_serve under injected faults (${SMOKE_DIR}) =="
 cmake --build "$SMOKE_DIR" -j --target bench_serve
 SERVE_OUT="${TMPDIR:-/tmp}/check_build_serve.txt"
+SERVE_JSON="${TMPDIR:-/tmp}/check_build_serve_bench.json"
+SERVE_NDJSON="${TMPDIR:-/tmp}/check_build_serve_metrics.ndjson"
+rm -f "$SERVE_JSON" "$SERVE_NDJSON"
 INFUSERKI_FAULTS="serve/decode_step=prob:0.05:7;serve/prefill=prob:0.1:3;serve/tokenize=fail@11;io/atomic_write=prob:0.5:3" \
   "$SMOKE_DIR/bench/bench_serve" \
-  --workers=1,4 --requests=64 --kv_budget=8 | tee "$SERVE_OUT"
+  --workers=1,4 --requests=64 --kv_budget=8 \
+  --bench_json="$SERVE_JSON" \
+  --metrics_export_every=20 \
+  --metrics_export_ndjson="$SERVE_NDJSON" | tee "$SERVE_OUT"
 grep -q '^serve_accounting=ok$' "$SERVE_OUT" || {
   echo "FAIL: serve accounting not conserved under chaos" >&2
   exit 1
 }
-echo "serve chaos smoke OK (accounting conserved under faults)"
+grep -q '^serve_quantiles=ok$' "$SERVE_OUT" || {
+  echo "FAIL: obs-derived quantiles diverged from the sorted reference" >&2
+  exit 1
+}
+test -s "$SERVE_NDJSON" || {
+  echo "FAIL: live exporter left no NDJSON stream at $SERVE_NDJSON" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SERVE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+assert bench.get("bench") == "bench_serve", bench.get("bench")
+assert bench.get("schema") == 1, bench.get("schema")
+for key in ("requests", "queue", "kv_budget", "max_new"):
+    assert key in bench["config"], f"config missing {key!r}"
+assert bench["rounds"], "rounds must be non-empty"
+for row in bench["rounds"]:
+    for key in ("workers", "completed", "shed", "shed_rate",
+                "p50_ms", "p99_ms", "p999_ms", "ttft_p50_ms",
+                "inter_token_p50_ms", "req_per_s"):
+        assert key in row, f"round missing {key!r}"
+slo = bench["slo"]
+for key in ("requests", "shed_rate", "e2e", "ttft", "inter_token"):
+    assert key in slo, f"slo missing {key!r}"
+for key in ("count", "p50_ms", "p99_ms", "p999_ms"):
+    assert key in slo["e2e"], f"slo.e2e missing {key!r}"
+print("BENCH_serve.json schema OK:", sys.argv[1])
+EOF
+else
+  echo "FAIL: python3 is required to schema-check $SERVE_JSON" >&2
+  exit 1
+fi
+echo "serve chaos smoke OK (accounting + quantiles conserved under faults)"
 
 echo "== tsan: race gate (build-tsan) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
@@ -165,9 +209,9 @@ cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DINFUSERKI_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j --target \
   race_stress_test threadpool_test kv_cache_test obs_test \
-  serve_test serve_chaos_test
+  obs_exporter_test serve_test serve_chaos_test
 for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test \
-                 serve_test serve_chaos_test; do
+                 obs_exporter_test serve_test serve_chaos_test; do
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$(pwd)/tsan.supp" \
     "$TSAN_DIR/tests/$tsan_test"
 done

@@ -1,0 +1,83 @@
+#ifndef INFUSERKI_OBS_EXPORTER_H_
+#define INFUSERKI_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace infuserki::obs {
+
+/// Configuration for the background metrics exporter. A zero period
+/// disables it entirely (no thread is spawned).
+struct ExporterOptions {
+  /// Export period; 0 disables the exporter.
+  std::chrono::milliseconds period{0};
+  /// NDJSON time-series file: one JSON object per tick, appended as a
+  /// single atomic write (records never tear or interleave). Empty skips.
+  std::string ndjson_path;
+  /// Prometheus text-exposition file, atomically rewritten every tick.
+  /// Empty skips.
+  std::string prometheus_path;
+  /// Horizon for the windowed rates/quantiles in each NDJSON record.
+  double window_seconds = 30.0;
+  /// Invoked at the start of every tick, before the snapshot — the hook
+  /// for periodic gauge sampling (e.g. serve queue depth).
+  std::function<void()> on_tick;
+};
+
+/// Background thread that periodically snapshots the metrics registry and
+/// publishes it as (a) an append-only NDJSON time series with cumulative
+/// and sliding-window views, and (b) a Prometheus text-exposition file.
+/// Stop() (and the destructor) performs one final synchronous tick so even
+/// short-lived processes leave at least one record behind.
+///
+/// Self-monitoring: `obs/exporter_ticks` counts completed ticks and
+/// `obs/exporter_write_failures` counts failed file publications.
+class MetricsExporter {
+ public:
+  /// Starts the export thread when options.period > 0.
+  explicit MetricsExporter(ExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Final tick + thread join. Idempotent and safe to call concurrently
+  /// with metric mutation.
+  void Stop();
+
+  /// Runs one export synchronously (also used by the final flush and
+  /// tests). Serialized against the background thread's ticks.
+  void TickNow();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  bool running() const;
+
+ private:
+  void Loop();
+  void ExportOnce(int64_t now_us);
+  std::string NdjsonRecord(const Registry::Snapshot& snapshot,
+                           int64_t now_us) const;
+  static std::string PrometheusText(const Registry::Snapshot& snapshot);
+
+  const ExporterOptions options_;
+  SlidingWindow window_;
+  std::atomic<uint64_t> ticks_{0};
+  std::mutex tick_mu_;      // serializes ExportOnce between thread and TickNow
+  mutable std::mutex mu_;   // guards stop_ with cv_
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace infuserki::obs
+
+#endif  // INFUSERKI_OBS_EXPORTER_H_

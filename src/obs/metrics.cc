@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -34,41 +35,87 @@ void AtomicMax(std::atomic<double>* target, double value) {
   }
 }
 
-size_t BucketIndex(double value) {
-  if (value <= Histogram::kFirstBound) return 0;
-  // Smallest i with value <= kFirstBound * 2^i.
-  int exponent = static_cast<int>(
-      std::ceil(std::log2(value / Histogram::kFirstBound)));
-  if (exponent < 0) return 0;
-  size_t bucket = static_cast<size_t>(exponent);
-  return bucket < Histogram::kNumBuckets ? bucket
-                                         : Histogram::kNumBuckets - 1;
+void FillQuantiles(HistogramStats* stats) {
+  stats->p50 = HistogramQuantile(*stats, 0.50);
+  stats->p90 = HistogramQuantile(*stats, 0.90);
+  stats->p99 = HistogramQuantile(*stats, 0.99);
+  stats->p999 = HistogramQuantile(*stats, 0.999);
 }
 
 }  // namespace
 
-void Histogram::Record(double value) {
-  uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
-  AtomicAdd(&sum_, value);
-  if (previous == 0) {
-    // First sample seeds min/max; racing recorders converge via the CAS
-    // loops below.
-    min_.store(value, std::memory_order_relaxed);
-    max_.store(value, std::memory_order_relaxed);
+double HistogramQuantile(const HistogramStats& stats, double q) {
+  if (stats.count == 0 || stats.buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target: the k-th smallest sample with k = ceil(q * count),
+  // floored at 1 so every quantile of a single sample is that sample.
+  double target = std::max(1.0, q * static_cast<double>(stats.count));
+  double cumulative = 0.0;
+  for (size_t b = 0; b < stats.buckets.size(); ++b) {
+    double in_bucket = static_cast<double>(stats.buckets[b]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      double lower = b == 0 ? 0.0 : Histogram::BucketBound(b - 1);
+      double upper = Histogram::BucketBound(b);
+      if (!std::isfinite(upper)) upper = std::max(stats.max, lower);
+      double fraction = (target - cumulative) / in_bucket;
+      double value = lower + fraction * (upper - lower);
+      // The clamp makes constant distributions exact (min == max == value)
+      // and keeps interpolation inside the observed range.
+      return std::clamp(value, stats.min, stats.max);
+    }
+    cumulative += in_bucket;
   }
+  return stats.max;
+}
+
+HistogramStats SubtractHistogramStats(const HistogramStats& after,
+                                      const HistogramStats& before) {
+  HistogramStats delta;
+  delta.count = after.count >= before.count ? after.count - before.count : 0;
+  delta.sum = after.sum - before.sum;
+  delta.min = after.min;
+  delta.max = after.max;
+  delta.mean =
+      delta.count == 0 ? 0.0 : delta.sum / static_cast<double>(delta.count);
+  delta.buckets.resize(after.buckets.size(), 0);
+  for (size_t b = 0; b < after.buckets.size(); ++b) {
+    uint64_t prior = b < before.buckets.size() ? before.buckets[b] : 0;
+    delta.buckets[b] = after.buckets[b] >= prior ? after.buckets[b] - prior : 0;
+  }
+  if (delta.count == 0) return HistogramStats{};
+  FillQuantiles(&delta);
+  return delta;
+}
+
+void Histogram::Record(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  // min_/max_ start at +/-inf, so the CAS loops alone are correct for the
+  // first sample too — no seeding store that could clobber a concurrent
+  // update (the old `if (previous == 0)` branch lost min/max under races).
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndexFor(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 HistogramStats Histogram::Stats() const {
   HistogramStats stats;
   stats.count = count_.load(std::memory_order_relaxed);
+  stats.buckets.resize(kNumBuckets, 0);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    stats.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  if (stats.count == 0) return stats;
   stats.sum = sum_.load(std::memory_order_relaxed);
-  stats.min = min_.load(std::memory_order_relaxed);
-  stats.max = max_.load(std::memory_order_relaxed);
-  stats.mean =
-      stats.count == 0 ? 0.0 : stats.sum / static_cast<double>(stats.count);
+  double min = min_.load(std::memory_order_relaxed);
+  double max = max_.load(std::memory_order_relaxed);
+  // A racing snapshot can observe count > 0 before the first sample's
+  // CAS published min/max; report 0 rather than +/-inf in that window.
+  stats.min = std::isfinite(min) ? min : 0.0;
+  stats.max = std::isfinite(max) ? max : 0.0;
+  stats.mean = stats.sum / static_cast<double>(stats.count);
+  FillQuantiles(&stats);
   return stats;
 }
 
@@ -85,11 +132,22 @@ double Histogram::BucketBound(size_t bucket) {
   return kFirstBound * std::pow(2.0, static_cast<double>(bucket));
 }
 
+size_t Histogram::BucketIndexFor(double value) {
+  if (value <= kFirstBound) return 0;
+  // Smallest i with value <= kFirstBound * 2^i.
+  int exponent = static_cast<int>(std::ceil(std::log2(value / kFirstBound)));
+  if (exponent < 0) return 0;
+  size_t bucket = static_cast<size_t>(exponent);
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
 }
 
@@ -181,7 +239,8 @@ std::string Registry::TextDump() const {
   for (const auto& [name, stats] : snapshot.histograms) {
     os << name << " = count " << stats.count << ", sum " << stats.sum
        << ", mean " << stats.mean << ", min " << stats.min << ", max "
-       << stats.max << "\n";
+       << stats.max << ", p50 " << stats.p50 << ", p90 " << stats.p90
+       << ", p99 " << stats.p99 << ", p999 " << stats.p999 << "\n";
   }
   return os.str();
 }
@@ -203,7 +262,11 @@ std::string Registry::JsonDump() const {
         .AddNumber("sum", stats.sum)
         .AddNumber("mean", stats.mean)
         .AddNumber("min", stats.min)
-        .AddNumber("max", stats.max);
+        .AddNumber("max", stats.max)
+        .AddNumber("p50", stats.p50)
+        .AddNumber("p90", stats.p90)
+        .AddNumber("p99", stats.p99)
+        .AddNumber("p999", stats.p999);
     histograms.AddRaw(name, h.Finish());
   }
   JsonWriter out;

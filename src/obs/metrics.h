@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace infuserki::obs {
 
@@ -59,14 +61,40 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Aggregated view of one histogram at a point in time.
+/// Aggregated view of one histogram at a point in time. Quantiles are
+/// interpolated from the exponential buckets, so each is exact to within
+/// one bucket (<= 2x relative error) and exact for constant distributions
+/// (the interpolation clamps to [min, max]). An empty histogram reports
+/// count == 0 with every other field zero — callers must check `count`
+/// before treating min/max as observed samples.
 struct HistogramStats {
   uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
   double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  /// Per-bucket sample counts (size Histogram::kNumBuckets) — the raw
+  /// material for quantile interpolation and windowed deltas.
+  std::vector<uint64_t> buckets;
 };
+
+/// Interpolated quantile (q in [0, 1]) from `stats.buckets`: walks the
+/// cumulative bucket counts to the bucket containing rank ceil(q * count),
+/// linearly interpolates inside it, and clamps to [min, max]. Returns 0 for
+/// an empty histogram.
+double HistogramQuantile(const HistogramStats& stats, double q);
+
+/// Point-in-time difference `after - before` of the same histogram (counts,
+/// sum, and buckets subtract; quantiles are recomputed from the delta
+/// buckets). min/max cannot be subtracted, so the delta carries `after`'s
+/// cumulative bounds — a documented approximation that only loosens the
+/// clamp on interpolated quantiles.
+HistogramStats SubtractHistogramStats(const HistogramStats& after,
+                                      const HistogramStats& before);
 
 /// Distribution of positive samples (latencies, sizes) over exponential
 /// base-2 buckets starting at 1e-6. All updates are relaxed atomics; a
@@ -87,6 +115,9 @@ class Histogram {
   uint64_t BucketCount(size_t bucket) const;
   /// Upper bound of `bucket` (inclusive); +inf for the last bucket.
   static double BucketBound(size_t bucket);
+  /// Index of the bucket `value` lands in (shared with bench cross-checks
+  /// so "within one bucket" means the same thing everywhere).
+  static size_t BucketIndexFor(double value);
 
   void Reset();
   const std::string& name() const { return name_; }
@@ -98,8 +129,11 @@ class Histogram {
   const std::string name_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
+  // min/max start at +/-inf so every Record competes through the CAS
+  // min/max loops — a conditional "first sample seeds the field" store
+  // could overwrite a concurrently CAS-published smaller min / larger max.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
 };
 

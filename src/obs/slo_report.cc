@@ -1,0 +1,100 @@
+#include "obs/slo_report.h"
+
+#include "obs/json.h"
+
+namespace infuserki::obs {
+namespace {
+
+uint64_t CounterDelta(const Registry::Snapshot& before,
+                      const Registry::Snapshot& after,
+                      const std::string& name) {
+  auto after_it = after.counters.find(name);
+  if (after_it == after.counters.end()) return 0;
+  auto before_it = before.counters.find(name);
+  uint64_t base =
+      before_it == before.counters.end() ? 0 : before_it->second;
+  return after_it->second >= base ? after_it->second - base : 0;
+}
+
+SloLatency LatencyDelta(const Registry::Snapshot& before,
+                        const Registry::Snapshot& after,
+                        const std::string& name) {
+  SloLatency latency;
+  auto after_it = after.histograms.find(name);
+  if (after_it == after.histograms.end()) return latency;
+  auto before_it = before.histograms.find(name);
+  HistogramStats delta =
+      before_it == before.histograms.end()
+          ? after_it->second
+          : SubtractHistogramStats(after_it->second, before_it->second);
+  latency.count = delta.count;
+  latency.mean_ms = delta.mean * 1e3;
+  latency.p50_ms = delta.p50 * 1e3;
+  latency.p90_ms = delta.p90 * 1e3;
+  latency.p99_ms = delta.p99 * 1e3;
+  latency.p999_ms = delta.p999 * 1e3;
+  latency.max_ms = delta.max * 1e3;
+  return latency;
+}
+
+std::string LatencyJson(const SloLatency& latency) {
+  JsonWriter out;
+  out.AddUint("count", latency.count)
+      .AddNumber("mean_ms", latency.mean_ms)
+      .AddNumber("p50_ms", latency.p50_ms)
+      .AddNumber("p90_ms", latency.p90_ms)
+      .AddNumber("p99_ms", latency.p99_ms)
+      .AddNumber("p999_ms", latency.p999_ms)
+      .AddNumber("max_ms", latency.max_ms);
+  return out.Finish();
+}
+
+}  // namespace
+
+SloReport BuildSloReport(const Registry::Snapshot& before,
+                         const Registry::Snapshot& after) {
+  SloReport report;
+  report.requests = CounterDelta(before, after, "serve/requests");
+  report.completed = CounterDelta(before, after, "serve/completed");
+  report.shed = CounterDelta(before, after, "serve/shed");
+  report.deadline_misses =
+      CounterDelta(before, after, "serve/deadline_misses");
+  report.cancelled = CounterDelta(before, after, "serve/cancelled");
+  report.failures = CounterDelta(before, after, "serve/failures");
+  report.degraded = CounterDelta(before, after, "serve/degraded");
+  report.retries = CounterDelta(before, after, "serve/retries");
+  if (report.requests > 0) {
+    double requests = static_cast<double>(report.requests);
+    report.shed_rate = static_cast<double>(report.shed) / requests;
+    report.deadline_miss_rate =
+        static_cast<double>(report.deadline_misses) / requests;
+  }
+  report.e2e = LatencyDelta(before, after, "serve/e2e_ok_seconds");
+  report.ttft = LatencyDelta(before, after, "serve/ttft_seconds");
+  report.inter_token =
+      LatencyDelta(before, after, "serve/inter_token_seconds");
+  report.queue_wait =
+      LatencyDelta(before, after, "serve/queue_wait_seconds");
+  return report;
+}
+
+std::string SloReportJson(const SloReport& report) {
+  JsonWriter out;
+  out.AddUint("requests", report.requests)
+      .AddUint("completed", report.completed)
+      .AddUint("shed", report.shed)
+      .AddUint("deadline_misses", report.deadline_misses)
+      .AddUint("cancelled", report.cancelled)
+      .AddUint("failures", report.failures)
+      .AddUint("degraded", report.degraded)
+      .AddUint("retries", report.retries)
+      .AddNumber("shed_rate", report.shed_rate)
+      .AddNumber("deadline_miss_rate", report.deadline_miss_rate)
+      .AddRaw("e2e", LatencyJson(report.e2e))
+      .AddRaw("ttft", LatencyJson(report.ttft))
+      .AddRaw("inter_token", LatencyJson(report.inter_token))
+      .AddRaw("queue_wait", LatencyJson(report.queue_wait));
+  return out.Finish();
+}
+
+}  // namespace infuserki::obs

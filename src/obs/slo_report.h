@@ -1,0 +1,52 @@
+#ifndef INFUSERKI_OBS_SLO_REPORT_H_
+#define INFUSERKI_OBS_SLO_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace infuserki::obs {
+
+/// One latency distribution of the serving SLO summary, in milliseconds.
+struct SloLatency {
+  uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Serving SLO summary built from the obs registry's `serve/*` metrics:
+/// outcome counts and rates plus quantile views of end-to-end latency,
+/// time-to-first-token, inter-token latency, and queue wait.
+struct SloReport {
+  uint64_t requests = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t cancelled = 0;
+  uint64_t failures = 0;
+  uint64_t degraded = 0;
+  uint64_t retries = 0;
+  double shed_rate = 0.0;           // shed / requests
+  double deadline_miss_rate = 0.0;  // deadline_misses / requests
+  SloLatency e2e;         // admission → completion, OK outcomes only
+  SloLatency ttft;        // admission → first generated token
+  SloLatency inter_token; // gaps between consecutive decode steps
+  SloLatency queue_wait;  // admission → dequeue
+};
+
+/// Builds the SLO summary covering `after - before`. Pass a
+/// default-constructed `before` for a since-process-start report.
+SloReport BuildSloReport(const Registry::Snapshot& before,
+                         const Registry::Snapshot& after);
+
+/// JSON object serialization (the `slo` block of BENCH_serve.json).
+std::string SloReportJson(const SloReport& report);
+
+}  // namespace infuserki::obs
+
+#endif  // INFUSERKI_OBS_SLO_REPORT_H_

@@ -93,6 +93,44 @@ void Tracer::Record(std::string name, int64_t begin_us, int64_t end_us,
   }
 }
 
+uint64_t Tracer::NextTrackId() {
+  return next_track_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::RecordAsync(uint64_t track, std::string name, int64_t begin_us,
+                         int64_t end_us) {
+  if (!enabled()) return;
+  AsyncSpanEvent event;
+  event.name = std::move(name);
+  event.track = track;
+  event.begin_us = begin_us;
+  event.end_us = end_us;
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_ring_.size() < kAsyncCapacity) {
+    async_ring_.push_back(std::move(event));
+  } else {
+    async_ring_[async_next_] = std::move(event);
+    async_next_ = (async_next_ + 1) % kAsyncCapacity;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<AsyncSpanEvent> Tracer::AsyncEvents() const {
+  std::vector<AsyncSpanEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    events = async_ring_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const AsyncSpanEvent& a, const AsyncSpanEvent& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+              // The enclosing request slice opens first at equal begin.
+              return a.end_us > b.end_us;
+            });
+  return events;
+}
+
 std::vector<SpanEvent> Tracer::Events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
@@ -142,6 +180,34 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
         .AddRaw("args", args.Finish());
     out << ",\n" << entry.Finish();
   }
+  // Request-scoped swimlanes: nestable async begin/end pairs (ph "b"/"e")
+  // plus instants (ph "n"). Events sharing an id group into one track, so
+  // a request reads as a single lane across worker threads.
+  for (const AsyncSpanEvent& event : AsyncEvents()) {
+    std::ostringstream id;
+    id << "0x" << std::hex << event.track;
+    bool instant = event.begin_us == event.end_us;
+    JsonWriter begin;
+    begin.AddString("name", event.name)
+        .AddString("cat", "request")
+        .AddString("ph", instant ? "n" : "b")
+        .AddInt("pid", 1)
+        .AddInt("tid", 0)
+        .AddString("id", id.str())
+        .AddInt("ts", event.begin_us);
+    out << ",\n" << begin.Finish();
+    if (!instant) {
+      JsonWriter end;
+      end.AddString("name", event.name)
+          .AddString("cat", "request")
+          .AddString("ph", "e")
+          .AddInt("pid", 1)
+          .AddInt("tid", 0)
+          .AddString("id", id.str())
+          .AddInt("ts", event.end_us);
+      out << ",\n" << end.Finish();
+    }
+  }
   out << "\n]}\n";
   return WriteFileAtomically(path, out.str());
 }
@@ -157,7 +223,37 @@ void Tracer::Clear() {
     buffer->ring.clear();
     buffer->next = 0;
   }
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    async_ring_.clear();
+    async_next_ = 0;
+  }
   dropped_.store(0, std::memory_order_relaxed);
+}
+
+RequestTrace RequestTrace::Begin() {
+  RequestTrace trace;
+  trace.id_ = Tracer::Get().NextTrackId();
+  trace.begin_us_ = NowMicros();
+  return trace;
+}
+
+void RequestTrace::Phase(std::string name, int64_t phase_begin_us,
+                         int64_t phase_end_us) const {
+  if (id_ == 0) return;
+  Tracer::Get().RecordAsync(id_, std::move(name), phase_begin_us,
+                            phase_end_us);
+}
+
+void RequestTrace::Mark(std::string name) const {
+  if (id_ == 0) return;
+  int64_t now = NowMicros();
+  Tracer::Get().RecordAsync(id_, std::move(name), now, now);
+}
+
+void RequestTrace::End(std::string name) const {
+  if (id_ == 0) return;
+  Tracer::Get().RecordAsync(id_, std::move(name), begin_us_, NowMicros());
 }
 
 ScopedSpan::ScopedSpan(std::string name) {

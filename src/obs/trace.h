@@ -31,6 +31,18 @@ struct SpanRollup {
   int64_t total_us = 0;
 };
 
+/// One async (request-scoped) event: a [begin_us, end_us] slice, or an
+/// instant marker when begin_us == end_us. Every event sharing a `track`
+/// id renders as one swimlane in chrome://tracing, so a request's whole
+/// lifecycle (queue → prefill → decode steps → completion) reads as a
+/// single horizontal track regardless of which worker threads ran it.
+struct AsyncSpanEvent {
+  std::string name;
+  uint64_t track = 0;
+  int64_t begin_us = 0;
+  int64_t end_us = 0;
+};
+
 /// Process-wide span recorder. Each thread appends completed spans to its
 /// own fixed-capacity ring buffer (oldest events are overwritten), so the
 /// record path takes only the calling thread's uncontended buffer lock.
@@ -55,6 +67,20 @@ class Tracer {
   /// Every retained event across all threads, ordered by begin time.
   std::vector<SpanEvent> Events() const;
 
+  /// Allocates a process-unique async track id (never 0). Cheap (one
+  /// relaxed fetch_add) and available even while tracing is disabled, so
+  /// request ids stay stable whether or not a trace is being captured.
+  uint64_t NextTrackId();
+
+  /// Records one async event on `track`. begin_us == end_us records an
+  /// instant marker. No-op while disabled; the async ring keeps the newest
+  /// kAsyncCapacity events (evictions count toward dropped()).
+  void RecordAsync(uint64_t track, std::string name, int64_t begin_us,
+                   int64_t end_us);
+
+  /// Every retained async event, ordered by (track, begin time).
+  std::vector<AsyncSpanEvent> AsyncEvents() const;
+
   /// Number of events evicted from full ring buffers so far.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
@@ -71,6 +97,11 @@ class Tracer {
  private:
   struct ThreadBuffer;
 
+  /// Async events are shared across threads (a request migrates between
+  /// submitter and worker), so they live in one mutex-guarded ring rather
+  /// than the per-thread buffers.
+  static constexpr size_t kAsyncCapacity = 1 << 16;
+
   Tracer() = default;
   ThreadBuffer* LocalBuffer();
 
@@ -78,8 +109,12 @@ class Tracer {
   std::atomic<size_t> capacity_{1 << 15};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint32_t> next_tid_{0};
+  std::atomic<uint64_t> next_track_{1};
   mutable std::mutex mu_;  // guards buffers_
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable std::mutex async_mu_;  // guards async_ring_ / async_next_
+  std::vector<AsyncSpanEvent> async_ring_;
+  size_t async_next_ = 0;  // write cursor once the async ring is full
 };
 
 /// RAII span: snapshots the clock on construction and records a SpanEvent
@@ -99,6 +134,36 @@ class ScopedSpan {
   int64_t begin_us_ = 0;
   int32_t depth_ = 0;
   bool active_ = false;
+};
+
+/// Request-scoped trace handle: a unique track id plus the admission
+/// timestamp. Copies are cheap value types; the handle rides with a request
+/// through queueing, prefill, and decode so every lifecycle event lands on
+/// one chrome://tracing swimlane. Events are recorded only while tracing is
+/// enabled, but the id is always allocated, so callers can expose it (e.g.
+/// serve::Response::request_id) unconditionally.
+class RequestTrace {
+ public:
+  RequestTrace() = default;
+
+  /// Allocates a track id and stamps the admission time.
+  static RequestTrace Begin();
+
+  uint64_t id() const { return id_; }
+  int64_t begin_us() const { return begin_us_; }
+
+  /// Records the named sub-phase [phase_begin_us, phase_end_us].
+  void Phase(std::string name, int64_t phase_begin_us,
+             int64_t phase_end_us) const;
+  /// Records an instant marker (cache hit, retry, shed, degradation) now.
+  void Mark(std::string name) const;
+  /// Closes the track: records the enclosing admission→now slice. Call
+  /// exactly once, after every Phase/Mark for this request.
+  void End(std::string name) const;
+
+ private:
+  uint64_t id_ = 0;
+  int64_t begin_us_ = 0;
 };
 
 }  // namespace infuserki::obs

@@ -1,0 +1,123 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace infuserki::obs {
+
+SlidingWindow::SlidingWindow(double window_seconds, size_t max_frames)
+    : window_seconds_(window_seconds > 0.0 ? window_seconds : 1.0),
+      max_frames_(std::max<size_t>(2, max_frames)) {}
+
+void SlidingWindow::Tick(int64_t now_us) {
+  Frame frame;
+  frame.t_us = now_us >= 0 ? now_us : NowMicros();
+  frame.snapshot = Registry::Get().TakeSnapshot();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_.push_back(std::move(frame));
+  int64_t horizon =
+      frames_.back().t_us - static_cast<int64_t>(window_seconds_ * 1e6);
+  // Drop frames that have aged out, but keep one frame at-or-before the
+  // horizon as the baseline so the delta always spans >= the window.
+  while (frames_.size() > 2 && frames_[1].t_us <= horizon) {
+    frames_.pop_front();
+  }
+  while (frames_.size() > max_frames_) frames_.pop_front();
+}
+
+bool SlidingWindow::BoundsLocked(const Frame** baseline,
+                                 const Frame** newest) const {
+  if (frames_.size() < 2) return false;
+  *baseline = &frames_.front();
+  *newest = &frames_.back();
+  return true;
+}
+
+double SlidingWindow::CoveredSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Frame* baseline;
+  const Frame* newest;
+  if (!BoundsLocked(&baseline, &newest)) return 0.0;
+  return static_cast<double>(newest->t_us - baseline->t_us) * 1e-6;
+}
+
+namespace {
+
+uint64_t CounterOrZero(const Registry::Snapshot& snapshot,
+                       const std::string& name) {
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+uint64_t SlidingWindow::CounterDelta(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Frame* baseline;
+  const Frame* newest;
+  if (!BoundsLocked(&baseline, &newest)) return 0;
+  uint64_t now = CounterOrZero(newest->snapshot, name);
+  uint64_t then = CounterOrZero(baseline->snapshot, name);
+  return now >= then ? now - then : 0;
+}
+
+double SlidingWindow::CounterRate(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Frame* baseline;
+  const Frame* newest;
+  if (!BoundsLocked(&baseline, &newest)) return 0.0;
+  double seconds = static_cast<double>(newest->t_us - baseline->t_us) * 1e-6;
+  if (seconds <= 0.0) return 0.0;
+  uint64_t now = CounterOrZero(newest->snapshot, name);
+  uint64_t then = CounterOrZero(baseline->snapshot, name);
+  return now >= then ? static_cast<double>(now - then) / seconds : 0.0;
+}
+
+double SlidingWindow::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.empty()) return 0.0;
+  const auto& gauges = frames_.back().snapshot.gauges;
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+HistogramStats SlidingWindow::HistogramDelta(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Frame* baseline;
+  const Frame* newest;
+  if (!BoundsLocked(&baseline, &newest)) return HistogramStats{};
+  auto now_it = newest->snapshot.histograms.find(name);
+  if (now_it == newest->snapshot.histograms.end()) return HistogramStats{};
+  auto then_it = baseline->snapshot.histograms.find(name);
+  if (then_it == baseline->snapshot.histograms.end()) {
+    // The histogram first appeared inside the window: the whole cumulative
+    // view is the delta.
+    return now_it->second;
+  }
+  return SubtractHistogramStats(now_it->second, then_it->second);
+}
+
+std::map<std::string, double> SlidingWindow::AllCounterRates() const {
+  std::map<std::string, double> rates;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Frame* baseline;
+  const Frame* newest;
+  if (!BoundsLocked(&baseline, &newest)) return rates;
+  double seconds = static_cast<double>(newest->t_us - baseline->t_us) * 1e-6;
+  if (seconds <= 0.0) return rates;
+  for (const auto& [name, value] : newest->snapshot.counters) {
+    uint64_t then = CounterOrZero(baseline->snapshot, name);
+    rates[name] =
+        value >= then ? static_cast<double>(value - then) / seconds : 0.0;
+  }
+  return rates;
+}
+
+size_t SlidingWindow::frame_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+}  // namespace infuserki::obs

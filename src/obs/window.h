@@ -1,0 +1,74 @@
+#ifndef INFUSERKI_OBS_WINDOW_H_
+#define INFUSERKI_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace infuserki::obs {
+
+/// Sliding-window view over the metrics registry: a ring of timestamped
+/// cumulative snapshots. Windowed aggregates are "newest minus baseline",
+/// where the baseline is the most recent frame at least `window_seconds`
+/// older than the newest — so operators see last-N-seconds rates and
+/// quantiles instead of since-process-start aggregates.
+///
+/// Thread-safe: Tick() and every reader take the same internal mutex (the
+/// expensive part, Registry::TakeSnapshot, happens outside it).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(double window_seconds = 30.0,
+                         size_t max_frames = 256);
+
+  /// Captures a registry snapshot stamped `now_us` (NowMicros() when
+  /// negative) and evicts frames older than the window, always retaining
+  /// one baseline frame.
+  void Tick(int64_t now_us = -1);
+
+  /// Seconds actually spanned by the retained frames (<= the configured
+  /// window until enough ticks have accumulated; 0 before two ticks).
+  double CoveredSeconds() const;
+
+  /// Windowed counter increase; 0 before two ticks or for unknown names.
+  uint64_t CounterDelta(const std::string& name) const;
+
+  /// Windowed counter rate in events/second; 0 before two ticks.
+  double CounterRate(const std::string& name) const;
+
+  /// Most recent gauge reading (gauges are instantaneous, not windowed).
+  double GaugeValue(const std::string& name) const;
+
+  /// Windowed histogram stats: counts/sum/buckets are newest-minus-baseline
+  /// with quantiles recomputed from the delta buckets (see
+  /// SubtractHistogramStats for the min/max caveat). Empty stats before two
+  /// ticks or for unknown names.
+  HistogramStats HistogramDelta(const std::string& name) const;
+
+  /// Windowed rate for every counter in the newest frame.
+  std::map<std::string, double> AllCounterRates() const;
+
+  double window_seconds() const { return window_seconds_; }
+  size_t frame_count() const;
+
+ private:
+  struct Frame {
+    int64_t t_us = 0;
+    Registry::Snapshot snapshot;
+  };
+
+  /// Returns false before two frames exist. Caller holds mu_.
+  bool BoundsLocked(const Frame** baseline, const Frame** newest) const;
+
+  const double window_seconds_;
+  const size_t max_frames_;
+  mutable std::mutex mu_;
+  std::deque<Frame> frames_;
+};
+
+}  // namespace infuserki::obs
+
+#endif  // INFUSERKI_OBS_WINDOW_H_

@@ -44,15 +44,15 @@ std::unique_ptr<PrefixCache::Entry> PrefixCache::Take(
   return entry;
 }
 
-void PrefixCache::Put(std::unique_ptr<Entry> entry) {
-  if (entry == nullptr) return;
+size_t PrefixCache::Put(std::unique_ptr<Entry> entry) {
+  if (entry == nullptr) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(entry->prompt);
   if (it != slots_.end()) {
     // Another worker re-prefilled the same prompt while we decoded; keep
     // the resident copy and count the incoming one as evicted.
     Metrics().evictions->Increment();
-    return;
+    return 1;
   }
   size_t tokens = entry->prompt.size();
   std::vector<int> key = entry->prompt;
@@ -61,8 +61,9 @@ void PrefixCache::Put(std::unique_ptr<Entry> entry) {
   slot.last_use = ++tick_;
   slots_.emplace(std::move(key), std::move(slot));
   cached_tokens_ += tokens;
-  EnforceBudgetLocked();
+  size_t evicted = EnforceBudgetLocked();
   PublishLocked();
+  return evicted;
 }
 
 void PrefixCache::Clear() {
@@ -82,7 +83,8 @@ size_t PrefixCache::entries() const {
   return slots_.size();
 }
 
-void PrefixCache::EnforceBudgetLocked() {
+size_t PrefixCache::EnforceBudgetLocked() {
+  size_t evicted = 0;
   while (cached_tokens_ > budget_tokens_ && !slots_.empty()) {
     auto victim = slots_.begin();
     for (auto it = slots_.begin(); it != slots_.end(); ++it) {
@@ -91,7 +93,9 @@ void PrefixCache::EnforceBudgetLocked() {
     cached_tokens_ -= victim->second.entry->prompt.size();
     slots_.erase(victim);
     Metrics().evictions->Increment();
+    ++evicted;
   }
+  return evicted;
 }
 
 void PrefixCache::PublishLocked() {

@@ -53,8 +53,10 @@ class PrefixCache {
   /// Returns an entry to the pool (caller must have rewound the session to
   /// `mark` first), then enforces the budget by LRU eviction. If another
   /// entry for the same prompt was inserted meanwhile, the incoming one is
-  /// dropped. Null entries are ignored.
-  void Put(std::unique_ptr<Entry> entry);
+  /// dropped. Null entries are ignored. Returns the number of entries
+  /// evicted by this call (including an incoming duplicate), so callers
+  /// can attribute evictions to the request that triggered them.
+  size_t Put(std::unique_ptr<Entry> entry);
 
   /// Drops every cached entry (keeps the budget).
   void Clear();
@@ -69,9 +71,9 @@ class PrefixCache {
     uint64_t last_use = 0;
   };
 
-  /// Evicts LRU slots until `cached_tokens_` fits the budget. Requires
-  /// `mu_` held.
-  void EnforceBudgetLocked();
+  /// Evicts LRU slots until `cached_tokens_` fits the budget; returns the
+  /// eviction count. Requires `mu_` held.
+  size_t EnforceBudgetLocked();
   /// Publishes occupancy gauges. Requires `mu_` held.
   void PublishLocked();
 

@@ -30,6 +30,12 @@ struct ServeMetrics {
   obs::Histogram* queue_wait_seconds;
   obs::Histogram* request_seconds;
   obs::Histogram* tokens_generated;
+  obs::Histogram* ttft_seconds;
+  obs::Histogram* inter_token_seconds;
+  obs::Histogram* e2e_ok_seconds;
+  obs::Histogram* e2e_deadline_seconds;
+  obs::Histogram* e2e_error_seconds;
+  obs::Histogram* queue_depth_samples;
 };
 
 ServeMetrics& Metrics() {
@@ -53,7 +59,13 @@ ServeMetrics& Metrics() {
         registry.GetGauge("serve/queue_depth_max"),
         registry.GetHistogram("serve/queue_wait_seconds"),
         registry.GetHistogram("serve/request_seconds"),
-        registry.GetHistogram("serve/tokens_generated")};
+        registry.GetHistogram("serve/tokens_generated"),
+        registry.GetHistogram("serve/ttft_seconds"),
+        registry.GetHistogram("serve/inter_token_seconds"),
+        registry.GetHistogram("serve/e2e_ok_seconds"),
+        registry.GetHistogram("serve/e2e_deadline_seconds"),
+        registry.GetHistogram("serve/e2e_error_seconds"),
+        registry.GetHistogram("serve/queue_depth_samples")};
   }();
   return *metrics;
 }
@@ -90,6 +102,19 @@ InferenceServer::InferenceServer(const model::TransformerLM& lm,
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back(&InferenceServer::WorkerLoop, this);
   }
+  if (options_.exporter.period.count() > 0) {
+    // The server owns the export thread and chains its queue-depth
+    // sampling ahead of any caller-provided tick hook.
+    obs::ExporterOptions exporter_options = options_.exporter;
+    std::function<void()> user_tick = std::move(exporter_options.on_tick);
+    exporter_options.on_tick = [this, user_tick = std::move(user_tick)] {
+      Metrics().queue_depth_samples->Record(
+          static_cast<double>(queue_depth()));
+      if (user_tick) user_tick();
+    };
+    exporter_ =
+        std::make_unique<obs::MetricsExporter>(std::move(exporter_options));
+  }
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
@@ -104,6 +129,7 @@ std::future<Response> InferenceServer::Submit(Request request) {
                                    : options_.default_deadline;
   job->request = std::move(request);
   job->enqueued = Clock::now();
+  job->trace = obs::RequestTrace::Begin();
   if (deadline.count() > 0) job->deadline = job->enqueued + deadline;
   std::future<Response> future = job->promise.get_future();
 
@@ -112,8 +138,11 @@ std::future<Response> InferenceServer::Submit(Request request) {
     if (shutdown_started_) {
       metrics.cancelled->Increment();
       Response response;
+      response.request_id = job->trace.id();
       response.status =
           util::Status::Unavailable("server is shutting down");
+      job->trace.Mark("cancelled");
+      job->trace.End("serve/request");
       job->promise.set_value(std::move(response));
       return future;
     }
@@ -122,9 +151,12 @@ std::future<Response> InferenceServer::Submit(Request request) {
       // deadline will kill anyway.
       metrics.shed->Increment();
       Response response;
+      response.request_id = job->trace.id();
       response.status = util::Status::ResourceExhausted(
           "admission queue full (" +
           std::to_string(options_.queue_capacity) + " requests)");
+      job->trace.Mark("shed");
+      job->trace.End("serve/request");
       job->promise.set_value(std::move(response));
       return future;
     }
@@ -156,14 +188,20 @@ void InferenceServer::Shutdown() {
   for (std::unique_ptr<Job>& job : orphaned) {
     Metrics().cancelled->Increment();
     Response response;
+    response.request_id = job->trace.id();
     response.status =
         util::Status::Unavailable("server shut down before execution");
+    job->trace.Mark("cancelled");
+    job->trace.End("serve/request");
     job->promise.set_value(std::move(response));
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // After the last request resolved: one final flush so short-lived
+  // servers still leave a complete record, then the thread stops.
+  if (exporter_ != nullptr) exporter_->Stop();
 }
 
 size_t InferenceServer::queue_depth() const {
@@ -194,37 +232,68 @@ void InferenceServer::Process(Job* job) {
   ServeMetrics& metrics = Metrics();
   util::Stopwatch watch;
   Response response;
+  response.request_id = job->trace.id();
   response.queue_seconds =
       std::chrono::duration<double>(Clock::now() - job->enqueued).count();
   metrics.queue_wait_seconds->Record(response.queue_seconds);
+  job->trace.Phase("queue", job->trace.begin_us(), obs::NowMicros());
 
   const bool bounded = job->deadline != Clock::time_point{};
   auto expired = [&] { return bounded && Clock::now() >= job->deadline; };
 
+  // Token-level SLO bookkeeping shared by the cached and degraded paths:
+  // the first token of the (eventually delivered) stream stamps TTFT,
+  // every later token records the inter-token gap.
+  int64_t last_token_us = 0;
+  auto note_token = [&](size_t stream_size) {
+    int64_t now_us = obs::NowMicros();
+    if (stream_size == 1) {
+      response.ttft_seconds =
+          std::chrono::duration<double>(Clock::now() - job->enqueued)
+              .count();
+    } else if (last_token_us != 0) {
+      metrics.inter_token_seconds->Record(
+          static_cast<double>(now_us - last_token_us) * 1e-6);
+    }
+    last_token_us = now_us;
+  };
+
   // Single exit: classify the terminal status into the accounting
   // counters (requests == completed + shed + deadline_misses + cancelled
-  // + failures holds at every quiescent point) and resolve the promise.
+  // + failures holds at every quiescent point), record the per-outcome
+  // latency, close the request's trace track, and resolve the promise.
   auto deliver = [&](util::Status status) {
     response.status = std::move(status);
     double processing = watch.ElapsedSeconds();
     response.total_seconds = response.queue_seconds + processing;
     metrics.request_seconds->Record(processing);
+    if (response.ttft_seconds > 0.0) {
+      metrics.ttft_seconds->Record(response.ttft_seconds);
+    }
     switch (response.status.code()) {
       case util::StatusCode::kOk:
         metrics.tokens_generated->Record(
             static_cast<double>(response.tokens.size()));
         metrics.completed->Increment();
+        metrics.e2e_ok_seconds->Record(response.total_seconds);
         break;
       case util::StatusCode::kDeadlineExceeded:
         metrics.deadline_misses->Increment();
+        metrics.e2e_deadline_seconds->Record(response.total_seconds);
+        job->trace.Mark("deadline");
         break;
       case util::StatusCode::kCancelled:
       case util::StatusCode::kUnavailable:
         metrics.cancelled->Increment();
+        metrics.e2e_error_seconds->Record(response.total_seconds);
+        job->trace.Mark("cancelled");
         break;
       default:
         metrics.failures->Increment();
+        metrics.e2e_error_seconds->Record(response.total_seconds);
+        job->trace.Mark("failure");
     }
+    job->trace.End("serve/request");
     job->promise.set_value(std::move(response));
   };
 
@@ -253,6 +322,7 @@ void InferenceServer::Process(Job* job) {
     if (attempts > 1) {
       metrics.retries->Increment(static_cast<uint64_t>(attempts - 1));
       response.retries += attempts - 1;
+      job->trace.Mark("retry:" + what);
     }
     return status;
   };
@@ -289,8 +359,10 @@ void InferenceServer::Process(Job* job) {
   if (entry != nullptr) {
     metrics.prefix_hits->Increment();
     response.prefix_hit = true;
+    job->trace.Mark("prefix_hit");
   } else {
     metrics.prefix_misses->Increment();
+    int64_t prefill_begin_us = obs::NowMicros();
     util::Status prefill_status = retry_step(
         [] { return FAULT_POINT("serve/prefill"); }, "serve prefill");
     if (prefill_status.ok()) {
@@ -300,6 +372,7 @@ void InferenceServer::Process(Job* job) {
       tensor::Tensor logits = entry->session->Prefill(prompt_ids);
       entry->mark = entry->session->Save();
       entry->last_row = LastRow(logits);
+      job->trace.Phase("prefill", prefill_begin_us, obs::NowMicros());
     }
     // A permanent prefill fault leaves `entry` null: fall through to the
     // cacheless path below rather than failing the request.
@@ -312,6 +385,7 @@ void InferenceServer::Process(Job* job) {
     // cancellation / deadline probes only cut the loop short, they never
     // change which token is picked.
     std::vector<float> row = entry->last_row;
+    int64_t step_begin_us = obs::NowMicros();
     while (true) {
       if (shutting_down_.load(std::memory_order_relaxed)) {
         deliver(util::Status::Cancelled("server shutting down"));
@@ -319,7 +393,7 @@ void InferenceServer::Process(Job* job) {
       }
       if (expired()) {
         entry->session->Rewind(entry->mark);
-        cache_.Put(std::move(entry));
+        if (cache_.Put(std::move(entry)) > 0) job->trace.Mark("cache_evict");
         response.tokens = std::move(generated);
         deliver(util::Status::DeadlineExceeded(
             "deadline expired after " +
@@ -329,6 +403,9 @@ void InferenceServer::Process(Job* job) {
       int next = ArgmaxRow(row.data(), vocab);
       if (next == text::kEosId) break;
       generated.push_back(next);
+      note_token(generated.size());
+      job->trace.Phase("decode_step", step_begin_us, last_token_us);
+      step_begin_us = last_token_us;
       if (generated.size() >= max_new) break;
       if (prompt_ids.size() + generated.size() >= max_seq) break;
       util::Status step_status = retry_step(
@@ -345,7 +422,7 @@ void InferenceServer::Process(Job* job) {
     }
     if (!poisoned) {
       entry->session->Rewind(entry->mark);
-      cache_.Put(std::move(entry));
+      if (cache_.Put(std::move(entry)) > 0) job->trace.Mark("cache_evict");
     }
   }
 
@@ -356,7 +433,13 @@ void InferenceServer::Process(Job* job) {
     metrics.degraded->Increment();
     response.degraded = true;
     response.prefix_hit = false;
+    job->trace.Mark("degraded");
     generated.clear();
+    // The delivered stream restarts from scratch, so TTFT and the
+    // inter-token clock restart with it.
+    response.ttft_seconds = 0.0;
+    last_token_us = 0;
+    int64_t step_begin_us = obs::NowMicros();
     std::vector<int> sequence = prompt_ids;
     for (size_t step = 0; step < max_new; ++step) {
       if (shutting_down_.load(std::memory_order_relaxed)) {
@@ -378,6 +461,9 @@ void InferenceServer::Process(Job* job) {
       if (next == text::kEosId) break;
       generated.push_back(next);
       sequence.push_back(next);
+      note_token(generated.size());
+      job->trace.Phase("decode_step", step_begin_us, last_token_us);
+      step_begin_us = last_token_us;
     }
   }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "model/transformer.h"
+#include "obs/exporter.h"
+#include "obs/trace.h"
 #include "serve/prefix_cache.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
@@ -39,6 +41,11 @@ struct ServeOptions {
   /// step). The per-request deadline is threaded into `retry.deadline`
   /// before each use, so retries never outlive their request.
   util::RetryOptions retry;
+  /// Background metrics exporter (period 0 disables it). When enabled the
+  /// server owns the export thread, samples its queue depth into
+  /// `serve/queue_depth_samples` on every tick (before any user on_tick),
+  /// and stops the exporter — with a final flush — during Shutdown().
+  obs::ExporterOptions exporter;
 };
 
 /// One inference request. `max_new_tokens` 0 and `deadline` 0 fall back to
@@ -61,8 +68,15 @@ struct Response {
   bool prefix_hit = false;  // served from a cached prefill
   bool degraded = false;    // served by the cacheless fallback path
   int retries = 0;          // transient faults absorbed by backoff
+  /// Process-unique request id; doubles as the async track id under which
+  /// this request's lifecycle renders in the Chrome trace. Always set,
+  /// including for shed and cancelled requests.
+  uint64_t request_id = 0;
   double queue_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Admission → first token of the delivered stream; 0 when no token was
+  /// generated (shed, cancelled, empty decode).
+  double ttft_seconds = 0.0;
 };
 
 /// Multi-threaded greedy-decode service over one TransformerLM.
@@ -118,6 +132,9 @@ class InferenceServer {
     // Absolute deadline; the epoch default means none.
     std::chrono::steady_clock::time_point deadline{};
     std::chrono::steady_clock::time_point enqueued{};
+    // Request-scoped trace handle, allocated at admission; every lifecycle
+    // event for this request lands on its async track.
+    obs::RequestTrace trace;
   };
 
   void WorkerLoop();
@@ -127,6 +144,7 @@ class InferenceServer {
   const text::Tokenizer& tokenizer_;
   const ServeOptions options_;
   PrefixCache cache_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;

@@ -12,9 +12,14 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace infuserki::obs {
 namespace {
@@ -366,6 +371,173 @@ TEST(Metrics, ResetAllZeroesEverything) {
 }
 
 // ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+// Same nearest-rank convention as HistogramQuantile: k = max(1, ceil(q*n)).
+double SortedQuantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  size_t n = samples.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples[rank - 1];
+}
+
+TEST(Quantiles, WithinBucketRelativeError) {
+  Histogram* histogram = Registry::Get().GetHistogram("test/quantile_error");
+  histogram->Reset();
+  // Log-spaced samples spanning ~6 decades, plus a heavy cluster near the
+  // median so the interpolation has to work inside a populated bucket.
+  std::vector<double> samples;
+  for (int i = 0; i < 600; ++i) {
+    samples.push_back(1e-5 * std::pow(10.0, i / 100.0));
+  }
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(0.01 + 1e-4 * i);
+  }
+  for (double s : samples) histogram->Record(s);
+  HistogramStats stats = histogram->Stats();
+  ASSERT_EQ(stats.count, samples.size());
+  // Base-2 exponential buckets bound any in-bucket estimate to within 2x of
+  // the true sample quantile.
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    double estimate = HistogramQuantile(stats, q);
+    double truth = SortedQuantile(samples, q);
+    EXPECT_LE(estimate, truth * 2.0) << "q=" << q;
+    EXPECT_GE(estimate, truth / 2.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(stats.p50, HistogramQuantile(stats, 0.5));
+  EXPECT_DOUBLE_EQ(stats.p999, HistogramQuantile(stats, 0.999));
+}
+
+TEST(Quantiles, ExactOnConstantDistribution) {
+  Histogram* histogram = Registry::Get().GetHistogram("test/quantile_const");
+  histogram->Reset();
+  for (int i = 0; i < 1000; ++i) histogram->Record(0.037);
+  HistogramStats stats = histogram->Stats();
+  // The min/max clamp makes constant distributions exact, not just 2x-close.
+  EXPECT_DOUBLE_EQ(stats.p50, 0.037);
+  EXPECT_DOUBLE_EQ(stats.p90, 0.037);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.037);
+  EXPECT_DOUBLE_EQ(stats.p999, 0.037);
+}
+
+TEST(Quantiles, SingleSampleIsExact) {
+  Histogram* histogram = Registry::Get().GetHistogram("test/quantile_single");
+  histogram->Reset();
+  histogram->Record(1.25);
+  HistogramStats stats = histogram->Stats();
+  EXPECT_DOUBLE_EQ(stats.p50, 1.25);
+  EXPECT_DOUBLE_EQ(stats.p999, 1.25);
+}
+
+TEST(Quantiles, EmptyHistogramIsAllZero) {
+  Histogram* histogram = Registry::Get().GetHistogram("test/quantile_empty");
+  histogram->Reset();
+  HistogramStats stats = histogram->Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p999, 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(stats, 0.5), 0.0);
+  // Reset after samples restores the empty contract (min/max never leak the
+  // +/-inf sentinels).
+  histogram->Record(9.0);
+  histogram->Reset();
+  stats = histogram->Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.0);
+}
+
+TEST(Quantiles, SurfacedInTextAndJsonDumps) {
+  Histogram* histogram = Registry::Get().GetHistogram("test/quantile_dump");
+  histogram->Reset();
+  for (int i = 0; i < 100; ++i) histogram->Record(0.5);
+  std::string text = Registry::Get().TextDump();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p999"), std::string::npos);
+  JsonValue root = ParseOrDie(Registry::Get().JsonDump());
+  const JsonValue& h = root.at("histograms").at("test/quantile_dump");
+  EXPECT_DOUBLE_EQ(h.at("p50").number, 0.5);
+  EXPECT_DOUBLE_EQ(h.at("p90").number, 0.5);
+  EXPECT_DOUBLE_EQ(h.at("p99").number, 0.5);
+  EXPECT_DOUBLE_EQ(h.at("p999").number, 0.5);
+}
+
+TEST(Quantiles, SubtractHistogramStatsIsolatesTheDelta) {
+  Histogram* histogram = Registry::Get().GetHistogram("test/quantile_delta");
+  histogram->Reset();
+  for (int i = 0; i < 50; ++i) histogram->Record(1e-4);
+  HistogramStats before = histogram->Stats();
+  for (int i = 0; i < 200; ++i) histogram->Record(0.25);
+  HistogramStats after = histogram->Stats();
+
+  HistogramStats delta = SubtractHistogramStats(after, before);
+  EXPECT_EQ(delta.count, 200u);
+  EXPECT_NEAR(delta.sum, 50.0, 1e-9);
+  // Quantiles come from the delta buckets: the 1e-4 samples recorded before
+  // the baseline must not drag p50 down.
+  EXPECT_GE(delta.p50, 0.25 / 2.0);
+  EXPECT_LE(delta.p50, 0.25 * 2.0);
+  // Empty delta collapses to the all-zero contract.
+  HistogramStats none = SubtractHistogramStats(after, after);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.p50, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindow
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, RatesAndHistogramDeltas) {
+  Registry::Get().GetCounter("test/window_counter")->Reset();
+  Registry::Get().GetHistogram("test/window_histogram")->Reset();
+  Registry::Get().GetGauge("test/window_gauge")->Reset();
+
+  SlidingWindow window(/*window_seconds=*/10.0);
+  EXPECT_EQ(window.CounterDelta("test/window_counter"), 0u);
+  EXPECT_DOUBLE_EQ(window.CoveredSeconds(), 0.0);
+
+  int64_t t0 = 1'000'000'000;
+  window.Tick(t0);
+  Registry::Get().GetCounter("test/window_counter")->Increment(40);
+  for (int i = 0; i < 8; ++i) {
+    Registry::Get().GetHistogram("test/window_histogram")->Record(0.125);
+  }
+  Registry::Get().GetGauge("test/window_gauge")->Set(6.5);
+  window.Tick(t0 + 4'000'000);  // +4s
+
+  EXPECT_DOUBLE_EQ(window.CoveredSeconds(), 4.0);
+  EXPECT_EQ(window.CounterDelta("test/window_counter"), 40u);
+  EXPECT_DOUBLE_EQ(window.CounterRate("test/window_counter"), 10.0);
+  EXPECT_DOUBLE_EQ(window.GaugeValue("test/window_gauge"), 6.5);
+  HistogramStats delta = window.HistogramDelta("test/window_histogram");
+  EXPECT_EQ(delta.count, 8u);
+  EXPECT_DOUBLE_EQ(delta.p50, 0.125);
+  EXPECT_DOUBLE_EQ(window.AllCounterRates().at("test/window_counter"), 10.0);
+  EXPECT_EQ(window.CounterDelta("test/window_no_such"), 0u);
+}
+
+TEST(SlidingWindowTest, EvictsFramesOutsideTheWindow) {
+  Registry::Get().GetCounter("test/window_evict")->Reset();
+  SlidingWindow window(/*window_seconds=*/5.0);
+  int64_t t0 = 2'000'000'000;
+  // One tick per simulated second for 20s; only ~the last 5s must survive.
+  for (int i = 0; i <= 20; ++i) {
+    Registry::Get().GetCounter("test/window_evict")->Increment(1);
+    window.Tick(t0 + static_cast<int64_t>(i) * 1'000'000);
+  }
+  EXPECT_LE(window.CoveredSeconds(), 6.0);
+  EXPECT_GE(window.CoveredSeconds(), 5.0);
+  // Rate stays ~1/s over the retained span.
+  EXPECT_NEAR(window.CounterRate("test/window_evict"), 1.0, 0.35);
+  EXPECT_LE(window.frame_count(), 8u);
+}
+
+// ---------------------------------------------------------------------------
 // Tracing
 // ---------------------------------------------------------------------------
 
@@ -478,6 +650,92 @@ TEST_F(TracerTest, ChromeTraceExportParses) {
   }
   EXPECT_EQ(complete_events, 2u);
   EXPECT_TRUE(saw_parent);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, RequestTraceEmitsOneAsyncTrack) {
+  RequestTrace trace = RequestTrace::Begin();
+  EXPECT_NE(trace.id(), 0u);
+  int64_t t0 = trace.begin_us();
+  trace.Phase("queue", t0, t0 + 1);
+  trace.Mark("prefix_hit");
+  trace.Phase("decode_step", t0 + 1, t0 + 2);
+  // Ensure the real End() timestamp lands after the fabricated phase ends.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  trace.End("serve/request");
+
+  std::vector<AsyncSpanEvent> events = Tracer::Get().AsyncEvents();
+  ASSERT_EQ(events.size(), 4u);
+  // All events share the request's track and the enclosing request span
+  // sorts first (same begin, latest end wins the tie).
+  for (const AsyncSpanEvent& event : events) {
+    EXPECT_EQ(event.track, trace.id());
+    EXPECT_GE(event.begin_us, t0);
+    EXPECT_GE(event.end_us, event.begin_us);
+  }
+  EXPECT_EQ(events[0].name, "serve/request");
+  for (const AsyncSpanEvent& event : events) {
+    EXPECT_LE(event.begin_us, events[0].end_us);
+    EXPECT_LE(event.end_us, events[0].end_us);
+  }
+}
+
+TEST_F(TracerTest, DistinctRequestsGetDistinctTracks) {
+  RequestTrace a = RequestTrace::Begin();
+  RequestTrace b = RequestTrace::Begin();
+  EXPECT_NE(a.id(), b.id());
+  a.End("serve/request");
+  b.End("serve/request");
+  std::vector<AsyncSpanEvent> events = Tracer::Get().AsyncEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].track, events[1].track);
+}
+
+TEST_F(TracerTest, AsyncEventsDroppedWhileDisabled) {
+  Tracer::Get().Disable();
+  RequestTrace trace = RequestTrace::Begin();
+  trace.Mark("invisible");
+  trace.End("serve/request");
+  Tracer::Get().Enable();
+  EXPECT_TRUE(Tracer::Get().AsyncEvents().empty());
+  // Ids still allocate while disabled so responses always carry one.
+  EXPECT_NE(trace.id(), 0u);
+}
+
+TEST_F(TracerTest, ChromeTraceExportsAsyncRequestEvents) {
+  RequestTrace trace = RequestTrace::Begin();
+  int64_t t0 = trace.begin_us();
+  trace.Phase("queue", t0, t0 + 25);
+  trace.Mark("shed");
+  // Keep End() strictly after begin_us so the lifecycle span exports as a
+  // b/e pair rather than collapsing to a zero-width instant.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  trace.End("serve/request");
+
+  std::string path = ::testing::TempDir() + "/async_trace.json";
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path));
+  JsonValue root = ParseOrDie(ReadFile(path));
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  size_t begins = 0, ends = 0, instants = 0;
+  std::set<std::string> ids;
+  for (const JsonValue& event : events.array) {
+    const std::string& ph = event.at("ph").string;
+    if (ph != "b" && ph != "e" && ph != "n") continue;
+    EXPECT_EQ(event.at("cat").string, "request");
+    EXPECT_TRUE(event.has("id"));
+    EXPECT_EQ(event.at("id").string.substr(0, 2), "0x");
+    ids.insert(event.at("id").string);
+    if (ph == "b") ++begins;
+    if (ph == "e") ++ends;
+    if (ph == "n") ++instants;
+  }
+  // queue + serve/request as begin/end pairs; the zero-width "shed" mark as
+  // an instant. All on one async id (= one swimlane per request).
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(ids.size(), 1u);
   std::remove(path.c_str());
 }
 

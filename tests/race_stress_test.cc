@@ -178,6 +178,43 @@ TEST(RaceStress, ObsMetricsConcurrentMutationAndSnapshot) {
             static_cast<double>(kThreads * kPerThread - 1));
 }
 
+// Regression for the first-sample min/max seeding race: Record() used to
+// plain-store min/max when it saw count 0, which could overwrite a value a
+// concurrent thread had just CAS-published — under a barrier start, min/max
+// sometimes came back as a mid-range sample instead of the true extremes.
+// With min_/max_ seeded to +/-inf the CAS loops alone are correct, so the
+// extremes must be exact on every round, including the very first samples.
+TEST(RaceStress, HistogramFirstSampleMinMaxSeeding) {
+  obs::Histogram* histogram =
+      obs::Registry::Get().GetHistogram("race/obs_first_sample");
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    histogram->Reset();
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> recorders;
+    recorders.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      recorders.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (!go.load()) {
+        }
+        // Every thread's first Record races for the empty histogram.
+        histogram->Record(static_cast<double>(t + 1) * 1e-3);
+      });
+    }
+    while (ready.load() < static_cast<int>(kThreads)) {
+    }
+    go.store(true);
+    for (std::thread& recorder : recorders) recorder.join();
+    obs::HistogramStats stats = histogram->Stats();
+    ASSERT_EQ(stats.count, static_cast<uint64_t>(kThreads)) << round;
+    EXPECT_DOUBLE_EQ(stats.min, 1e-3) << "round " << round;
+    EXPECT_DOUBLE_EQ(stats.max, static_cast<double>(kThreads) * 1e-3)
+        << "round " << round;
+  }
+}
+
 TEST(RaceStress, TraceSpansConcurrentWithEnableClear) {
   obs::Tracer& tracer = obs::Tracer::Get();
   tracer.Enable(256);

@@ -10,7 +10,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <future>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +23,7 @@
 #include "model/generation.h"
 #include "model/transformer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "text/tokenizer.h"
 #include "util/atomic_file.h"
@@ -33,11 +39,34 @@ constexpr size_t kRequests = 240;
 constexpr size_t kSubmitters = 4;
 constexpr size_t kMaxNew = 8;
 
+// CI uploads the soak's trace + NDJSON stream as workflow artifacts; the
+// env var points the test at the artifact staging dir (defaults to the
+// gtest temp dir for local runs).
+std::string ArtifactDir() {
+  const char* dir = std::getenv("INFUSERKI_CHAOS_ARTIFACT_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : ::testing::TempDir();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
 TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
   util::FaultRegistry& faults = util::FaultRegistry::Get();
   faults.Clear();
   obs::Registry& registry = obs::Registry::Get();
   registry.ResetAll();
+  // Request-scoped tracing on for the whole soak: every request must come
+  // back out of the chaos as one contiguous async track.
+  obs::Tracer::Get().Enable(1 << 15);
+  obs::Tracer::Get().Clear();
+  const std::string artifact_dir = ArtifactDir();
+  const std::string ndjson_path = artifact_dir + "/chaos_metrics.ndjson";
+  const std::string trace_path = artifact_dir + "/chaos_trace.json";
+  std::remove(ndjson_path.c_str());  // NDJSON appends; start clean
 
   std::vector<std::string> corpus = {
       "alpha beta gamma delta epsilon zeta eta theta iota kappa",
@@ -100,6 +129,10 @@ TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
   options.kv_budget_tokens = 20;
   options.default_max_new_tokens = kMaxNew;
   options.retry = {.max_attempts = 3, .base_delay_ms = 1};
+  // Live exporter soaking alongside the chaos: queue-depth sampling plus
+  // periodic NDJSON appends while every fault point fires.
+  options.exporter.period = milliseconds(20);
+  options.exporter.ndjson_path = ndjson_path;
   InferenceServer server(lm, tokenizer, options);
 
   struct Outcome {
@@ -201,6 +234,56 @@ TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
   EXPECT_EQ(snapshot.counters.at("serve/shed"), shed);
 
   server.Shutdown();
+
+  // Request-scoped tracing: every request — served, shed, deadline-missed,
+  // or failed — carries a process-unique id and renders as one async track
+  // whose "serve/request" span encloses every event on that track
+  // (admission through completion, no orphaned events).
+  std::map<uint64_t, std::vector<obs::AsyncSpanEvent>> tracks;
+  for (const obs::AsyncSpanEvent& event : obs::Tracer::Get().AsyncEvents()) {
+    tracks[event.track].push_back(event);
+  }
+  std::set<uint64_t> seen_ids;
+  for (size_t k = 0; k < kRequests; ++k) {
+    const Response& response = outcomes[k].response;
+    ASSERT_NE(response.request_id, 0u) << "request " << k;
+    EXPECT_TRUE(seen_ids.insert(response.request_id).second)
+        << "duplicate request id for request " << k;
+    auto it = tracks.find(response.request_id);
+    ASSERT_NE(it, tracks.end()) << "no async track for request " << k;
+    const obs::AsyncSpanEvent* lifecycle = nullptr;
+    for (const obs::AsyncSpanEvent& event : it->second) {
+      if (event.name == "serve/request") {
+        ASSERT_EQ(lifecycle, nullptr)
+            << "request " << k << " has two lifecycle spans";
+        lifecycle = &event;
+      }
+    }
+    ASSERT_NE(lifecycle, nullptr) << "request " << k;
+    for (const obs::AsyncSpanEvent& event : it->second) {
+      EXPECT_GE(event.begin_us, lifecycle->begin_us)
+          << "request " << k << " event " << event.name;
+      EXPECT_LE(event.end_us, lifecycle->end_us)
+          << "request " << k << " event " << event.name;
+    }
+  }
+  EXPECT_EQ(seen_ids.size(), kRequests);
+
+  // The exporter soaked through the chaos and Shutdown() flushed a final
+  // record, so the NDJSON stream ends on the post-soak totals.
+  std::string ndjson = ReadFile(ndjson_path);
+  ASSERT_FALSE(ndjson.empty());
+  std::ostringstream final_requests;
+  final_requests << "\"serve/requests\":" << kRequests;
+  EXPECT_NE(ndjson.rfind(final_requests.str()), std::string::npos);
+
+  // Chrome trace artifact: per-request swimlanes ride along with the
+  // thread-scoped spans (format details are covered by obs_test).
+  ASSERT_TRUE(obs::Tracer::Get().WriteChromeTrace(trace_path));
+  std::string trace = ReadFile(trace_path);
+  EXPECT_NE(trace.find("\"cat\":\"request\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"b\""), std::string::npos);
+  obs::Tracer::Get().Disable();
 
   // I/O chaos: dump the metrics through the fault-injected atomic writer.
   // io/atomic_write fails half its hits; with retries this usually lands,

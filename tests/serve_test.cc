@@ -295,7 +295,8 @@ TEST_F(ServeFixture, ShutdownCancelsQueuedAndRejectsNewRequests) {
       ServeOptions{.num_workers = 1,
                    .retry = {.max_attempts = 2,
                              .base_delay_ms = 300,
-                             .multiplier = 1.0}});
+                             .multiplier = 1.0},
+                   .exporter = {}});
 
   std::future<Response> in_flight = server->Submit({prompt, 8});
   while (server->queue_depth() > 0) {
