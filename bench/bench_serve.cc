@@ -1,16 +1,22 @@
-// Serving-layer bench (DESIGN.md §10): floods InferenceServer with
-// asynchronous requests at each worker count and reports throughput,
-// p50/p99 latency, and shed rate, plus a conservation check over the
-// serve/ accounting counters. Doubles as the check_build.sh chaos smoke:
-// run with INFUSERKI_FAULTS armed and an undersized --kv_budget, the final
+// Serving-layer bench (DESIGN.md §10/§11): floods InferenceServer with
+// asynchronous requests at each batch width in the sweep and reports
+// throughput, p50/p99 latency, and shed rate, plus a conservation check
+// over the serve/ accounting counters. The `batched_speedup=` line is the
+// continuous-batching headline: throughput at the widest batch over the
+// sequential (--batch_sweep row 1) baseline, gated at >= 2x by
+// check_build.sh. Doubles as the check_build.sh chaos smoke: run with
+// INFUSERKI_FAULTS armed and an undersized --kv_budget, the final
 // "serve_accounting=ok" line proves no request was lost or double-counted
 // under fault churn.
 //
-// Flags: --workers=1,2,4 (comma list) --requests=96 --queue=32
-// --kv_budget=64 --max_new=8 --deadline_ms=0 (0 = none) --seed=17
-// --bench_json=<path> (SLO trajectory output, e.g. BENCH_serve.json)
-// plus the shared --trace_out / --metrics_out / --metrics_export_every /
-// --metrics_export_ndjson / --prom_out observability outputs.
+// Flags: --batch_sweep=1,2,4,8 (comma list of max_batch_rows)
+// --max_batch_tokens=256 --requests=96 --queue=32 --kv_budget=64
+// --max_new=8 --deadline_ms=0 (0 = none) --seed=17
+// --bench_json=<path> (SLO trajectory output, e.g. BENCH_serve.json;
+// appended as one NDJSON line per run so the file accumulates a
+// trajectory across commits) plus the shared --trace_out / --metrics_out /
+// --metrics_export_every / --metrics_export_ndjson / --prom_out
+// observability outputs.
 //
 // Latency quantiles are derived from the obs registry's exponential-bucket
 // histograms and cross-checked against this binary's own sorted-vector
@@ -21,6 +27,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <sstream>
@@ -42,14 +49,14 @@
 namespace infuserki {
 namespace {
 
-std::vector<size_t> ParseWorkerList(const std::string& spec) {
-  std::vector<size_t> workers;
+std::vector<size_t> ParseBatchList(const std::string& spec) {
+  std::vector<size_t> batch_rows;
   for (const std::string& piece : util::Split(spec, ",")) {
     int64_t value = std::atoll(piece.c_str());
-    if (value > 0) workers.push_back(static_cast<size_t>(value));
+    if (value > 0) batch_rows.push_back(static_cast<size_t>(value));
   }
-  if (workers.empty()) workers = {1, 2, 4};
-  return workers;
+  if (batch_rows.empty()) batch_rows = {1, 2, 4, 8};
+  return batch_rows;
 }
 
 /// Latency percentile over completed requests, nearest-rank with
@@ -77,9 +84,9 @@ bool WithinOneBucket(double obs_ms, double local_ms) {
   return hi - lo <= 1;
 }
 
-/// One worker-count round of the sweep, as persisted to --bench_json.
+/// One batch-width round of the sweep, as persisted to --bench_json.
 struct RoundResult {
-  size_t workers = 0;
+  size_t batch_rows = 0;
   uint64_t completed = 0;
   uint64_t shed = 0;
   uint64_t deadline = 0;
@@ -97,7 +104,7 @@ struct RoundResult {
 
 std::string RoundJson(const RoundResult& round) {
   obs::JsonWriter out;
-  out.AddUint("workers", round.workers)
+  out.AddUint("batch_rows", round.batch_rows)
       .AddUint("completed", round.completed)
       .AddUint("shed", round.shed)
       .AddUint("deadline_misses", round.deadline)
@@ -150,8 +157,10 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   bench::ObsSession obs_session("bench_serve", flags);
 
-  const std::vector<size_t> worker_counts =
-      ParseWorkerList(flags.GetString("workers", "1,2,4"));
+  const std::vector<size_t> batch_sweep =
+      ParseBatchList(flags.GetString("batch_sweep", "1,2,4,8"));
+  const size_t max_batch_tokens =
+      static_cast<size_t>(flags.GetInt("max_batch_tokens", 256));
   const size_t requests =
       static_cast<size_t>(flags.GetInt("requests", 96));
   const size_t queue = static_cast<size_t>(flags.GetInt("queue", 32));
@@ -194,7 +203,7 @@ int main(int argc, char** argv) {
       "beta delta zeta theta kappa",
   };
 
-  util::TablePrinter table({"workers", "completed", "shed", "deadline",
+  util::TablePrinter table({"batch", "completed", "shed", "deadline",
                             "degraded", "p50_ms", "p99_ms", "p999_ms",
                             "ttft_p50_ms", "req_per_s"});
   // Each round's server owns the export thread (queue-depth sampling per
@@ -207,11 +216,12 @@ int main(int argc, char** argv) {
   std::vector<RoundResult> rounds;
   obs::Registry::Snapshot run_before = registry.TakeSnapshot();
 
-  for (size_t workers : worker_counts) {
+  for (size_t batch_rows : batch_sweep) {
     CounterSnapshot before = ReadCounters();
     obs::Registry::Snapshot round_before = registry.TakeSnapshot();
     serve::ServeOptions options;
-    options.num_workers = workers;
+    options.max_batch_rows = batch_rows;
+    options.max_batch_tokens = max_batch_tokens;
     options.queue_capacity = queue;
     options.kv_budget_tokens = kv_budget;
     options.default_max_new_tokens = max_new;
@@ -253,7 +263,7 @@ int main(int argc, char** argv) {
                           (after.failures - before.failures);
     if (round_requests != requests || classified != round_requests) {
       accounting_ok = false;
-      std::cerr << "accounting mismatch at workers=" << workers
+      std::cerr << "accounting mismatch at batch_rows=" << batch_rows
                 << ": submitted=" << round_requests
                 << " classified=" << classified << "\n";
     }
@@ -279,14 +289,14 @@ int main(int argc, char** argv) {
     if (!latencies.empty()) {
       if (e2e.count != latencies.size()) {
         quantiles_ok = false;
-        std::cerr << "quantile count mismatch at workers=" << workers
+        std::cerr << "quantile count mismatch at batch_rows=" << batch_rows
                   << ": obs=" << e2e.count
                   << " local=" << latencies.size() << "\n";
       }
       if (!WithinOneBucket(p50, local_p50) ||
           !WithinOneBucket(p99, local_p99)) {
         quantiles_ok = false;
-        std::cerr << "quantile divergence at workers=" << workers
+        std::cerr << "quantile divergence at batch_rows=" << batch_rows
                   << ": obs p50_ms=" << p50 << " local=" << local_p50
                   << ", obs p99_ms=" << p99 << " local=" << local_p99
                   << "\n";
@@ -296,7 +306,7 @@ int main(int argc, char** argv) {
         elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
 
     RoundResult round;
-    round.workers = workers;
+    round.batch_rows = batch_rows;
     round.completed = completed;
     round.shed = shed;
     round.deadline = deadline;
@@ -315,13 +325,13 @@ int main(int argc, char** argv) {
     round.req_per_s = throughput;
     rounds.push_back(round);
 
-    table.AddRow({std::to_string(workers), std::to_string(completed),
+    table.AddRow({std::to_string(batch_rows), std::to_string(completed),
                   std::to_string(shed), std::to_string(deadline),
                   std::to_string(degraded), util::FormatFloat(p50, 2),
                   util::FormatFloat(p99, 2), util::FormatFloat(p999, 2),
                   util::FormatFloat(round.ttft_p50_ms, 2),
                   util::FormatFloat(throughput, 1)});
-    std::cout << "serve_bench: workers=" << workers
+    std::cout << "serve_bench: batch_rows=" << batch_rows
               << " requests=" << round_requests
               << " completed=" << completed << " shed=" << shed
               << " deadline_misses=" << deadline
@@ -337,7 +347,7 @@ int main(int argc, char** argv) {
               << util::FormatFloat(round.inter_token_p50_ms, 3)
               << " req_per_s=" << util::FormatFloat(throughput, 1) << "\n";
 
-    // Published per worker count under the bench_* glob (DESIGN.md §6) so
+    // Published per batch width under the bench_* glob (DESIGN.md §6) so
     // --metrics_out manifests carry the headline numbers; later rounds
     // overwrite earlier ones, the table keeps the full sweep.
     registry.GetGauge("serve/bench_p50_ms")->Set(p50);
@@ -352,15 +362,42 @@ int main(int argc, char** argv) {
 
   std::cout << "\n=== bench_serve (requests=" << requests
             << " queue=" << queue << " kv_budget=" << kv_budget
-            << " max_new=" << max_new << ") ===\n\n";
+            << " max_new=" << max_new
+            << " max_batch_tokens=" << max_batch_tokens << ") ===\n\n";
   table.Print(std::cout);
   std::cout << "\nserve_accounting=" << (accounting_ok ? "ok" : "FAILED")
             << "\n";
   std::cout << "serve_quantiles=" << (quantiles_ok ? "ok" : "FAILED")
             << "\n";
 
+  // Continuous-batching headline: throughput at the widest batch in the
+  // sweep over the sequential baseline (the batch_rows=1 round). Printed
+  // only when the sweep contains both, which is how check_build.sh invokes
+  // it for the >= 2x floor.
+  double batched_speedup = 0.0;
+  {
+    const RoundResult* baseline = nullptr;
+    const RoundResult* widest = nullptr;
+    for (const RoundResult& round : rounds) {
+      if (round.batch_rows == 1) baseline = &round;
+      if (widest == nullptr || round.batch_rows > widest->batch_rows) {
+        widest = &round;
+      }
+    }
+    if (baseline != nullptr && widest != nullptr &&
+        widest->batch_rows > 1 && baseline->req_per_s > 0.0) {
+      batched_speedup = widest->req_per_s / baseline->req_per_s;
+      registry.GetGauge("serve/bench_batched_speedup")
+          ->Set(batched_speedup);
+      std::cout << "batched_speedup="
+                << util::FormatFloat(batched_speedup, 3) << "\n";
+    }
+  }
+
   // SLO trajectory point (ROADMAP items 2 and 5): per-round quantiles plus
   // the whole-run SLO summary, everything sourced from the obs registry.
+  // Appended as one NDJSON line so BENCH_serve.json accumulates one point
+  // per commit — the across-PR trajectory README.md describes.
   if (!bench_json.empty()) {
     obs::Registry::Snapshot run_after = registry.TakeSnapshot();
     obs::SloReport slo = obs::BuildSloReport(run_before, run_after);
@@ -369,6 +406,7 @@ int main(int argc, char** argv) {
         .AddUint("queue", queue)
         .AddUint("kv_budget", kv_budget)
         .AddUint("max_new", max_new)
+        .AddUint("max_batch_tokens", max_batch_tokens)
         .AddInt("deadline_ms", deadline_ms);
     std::ostringstream rounds_json;
     rounds_json << "[";
@@ -379,12 +417,25 @@ int main(int argc, char** argv) {
     rounds_json << "]";
     obs::JsonWriter out;
     out.AddString("bench", "bench_serve")
-        .AddUint("schema", 1)
+        .AddUint("schema", 2)
         .AddRaw("config", config_json.Finish())
+        .AddNumber("batched_speedup", batched_speedup)
         .AddRaw("rounds", rounds_json.str())
         .AddRaw("slo", obs::SloReportJson(slo));
-    if (obs::WriteFileAtomically(bench_json, out.Finish() + "\n")) {
-      std::cout << "(wrote SLO trajectory " << bench_json << ")\n";
+    std::string history;
+    {
+      std::ifstream existing(bench_json);
+      if (existing) {
+        std::ostringstream os;
+        os << existing.rdbuf();
+        history = os.str();
+        if (!history.empty() && history.back() != '\n') history += '\n';
+      }
+    }
+    if (obs::WriteFileAtomically(bench_json,
+                                 history + out.Finish() + "\n")) {
+      std::cout << "(appended SLO trajectory point to " << bench_json
+                << ")\n";
     } else {
       std::cerr << "bench_json write failed: " << bench_json << "\n";
     }

@@ -16,25 +16,31 @@
 # 5. Runs the crash/resume smoke: a training run killed by an injected
 #    crash failpoint (exit 42) must resume from its snapshot and finish
 #    with parameters bit-identical to an uninterrupted run.
-# 6. Runs the serving chaos smoke: bench_serve flooded under injected
-#    compute + I/O faults with an undersized KV budget must keep its
-#    request accounting conserved ("serve_accounting=ok"), keep its
+# 6. Runs the serving chaos smoke: bench_serve sweeping batch widths under
+#    injected compute + I/O faults with an undersized KV budget must keep
+#    its request accounting conserved ("serve_accounting=ok"), keep its
 #    obs-derived latency quantiles within one bucket of the sorted-vector
-#    reference ("serve_quantiles=ok"), exit 0, emit a schema-valid
-#    BENCH_serve.json trajectory file, and leave a non-empty NDJSON
-#    metrics stream behind from the live exporter.
-# 7. Builds the ThreadSanitizer preset and runs the concurrency gate
+#    reference ("serve_quantiles=ok"), exit 0, append a schema-valid
+#    NDJSON line to the BENCH_serve.json trajectory, and leave a non-empty
+#    NDJSON metrics stream behind from the live exporter.
+# 7. Runs the fault-free batched-vs-sequential throughput gate: the
+#    continuous-batching scheduler at batch 8 must deliver at least 2x the
+#    sequential (batch 1) request throughput on the small bench model.
+#    Best of three runs — a single-core shared box is noisy.
+# 8. Builds the ThreadSanitizer preset and runs the concurrency gate
 #    (race_stress_test plus the threadpool / kv-cache / obs / exporter /
-#    serve suites, including the chaos soak) with fail-fast TSAN_OPTIONS —
-#    zero reports allowed (tsan.supp is reserved for documented third-party
-#    noise; see DESIGN.md §9).
-# 8. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
+#    serve suites, including the chaos soak and the batched-decode
+#    bit-exactness suite) with fail-fast TSAN_OPTIONS — zero reports
+#    allowed (tsan.supp is reserved for documented third-party noise; see
+#    DESIGN.md §9).
+# 9. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
 #    the LLVM tools are installed (skipped with a notice otherwise — the
 #    scale-run container has no LLVM), then the repo invariant linter
 #    (tools/lint/check_invariants.py) and its self-test, which must always
 #    pass.
-# 9. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
-#    README.md exist, so the docs cannot drift from the tree silently.
+# 10. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
+#    README.md / ARCHITECTURE.md exist, so the docs cannot drift from the
+#    tree silently.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -159,7 +165,7 @@ SERVE_NDJSON="${TMPDIR:-/tmp}/check_build_serve_metrics.ndjson"
 rm -f "$SERVE_JSON" "$SERVE_NDJSON"
 INFUSERKI_FAULTS="serve/decode_step=prob:0.05:7;serve/prefill=prob:0.1:3;serve/tokenize=fail@11;io/atomic_write=prob:0.5:3" \
   "$SMOKE_DIR/bench/bench_serve" \
-  --workers=1,4 --requests=64 --kv_budget=8 \
+  --batch_sweep=1,4 --requests=64 --kv_budget=8 \
   --bench_json="$SERVE_JSON" \
   --metrics_export_every=20 \
   --metrics_export_ndjson="$SERVE_NDJSON" | tee "$SERVE_OUT"
@@ -178,18 +184,25 @@ test -s "$SERVE_NDJSON" || {
 if command -v python3 > /dev/null 2>&1; then
   python3 - "$SERVE_JSON" <<'EOF'
 import json, sys
+# The SLO file is an NDJSON trajectory: one JSON object per line, newest
+# last. Every line must parse; the line this smoke just appended (the
+# last) must be a schema-2 batch-sweep record.
 with open(sys.argv[1]) as f:
-    bench = json.load(f)
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines, "trajectory must be non-empty"
+bench = lines[-1]
 assert bench.get("bench") == "bench_serve", bench.get("bench")
-assert bench.get("schema") == 1, bench.get("schema")
-for key in ("requests", "queue", "kv_budget", "max_new"):
+assert bench.get("schema") == 2, bench.get("schema")
+for key in ("requests", "queue", "kv_budget", "max_new",
+            "max_batch_tokens"):
     assert key in bench["config"], f"config missing {key!r}"
 assert bench["rounds"], "rounds must be non-empty"
 for row in bench["rounds"]:
-    for key in ("workers", "completed", "shed", "shed_rate",
+    for key in ("batch_rows", "completed", "shed", "shed_rate",
                 "p50_ms", "p99_ms", "p999_ms", "ttft_p50_ms",
                 "inter_token_p50_ms", "req_per_s"):
         assert key in row, f"round missing {key!r}"
+assert "batched_speedup" in bench, "missing batched_speedup"
 slo = bench["slo"]
 for key in ("requests", "shed_rate", "e2e", "ttft", "inter_token"):
     assert key in slo, f"slo missing {key!r}"
@@ -203,15 +216,40 @@ else
 fi
 echo "serve chaos smoke OK (accounting + quantiles conserved under faults)"
 
+echo "== serve throughput gate: batched vs sequential (${SMOKE_DIR}) =="
+BATCH_OUT="${TMPDIR:-/tmp}/check_build_batch.txt"
+BATCH_SPEEDUP=""
+for attempt in 1 2 3; do
+  "$SMOKE_DIR/bench/bench_serve" \
+    --batch_sweep=1,8 --dim=8 --layers=1 --max_new=16 \
+    --requests=256 --queue=512 --kv_budget=64 \
+    --bench_json="" | tee "$BATCH_OUT"
+  BATCH_SPEEDUP="$(sed -n 's/^batched_speedup=//p' "$BATCH_OUT")"
+  test -n "$BATCH_SPEEDUP" || {
+    echo "FAIL: batched_speedup line missing from the batch sweep" >&2
+    exit 1
+  }
+  if awk "BEGIN { exit !($BATCH_SPEEDUP >= 2.0) }"; then
+    break
+  fi
+  echo "batched speedup ${BATCH_SPEEDUP}x below 2x on attempt ${attempt}"
+done
+awk "BEGIN { exit !($BATCH_SPEEDUP >= 2.0) }" || {
+  echo "FAIL: batched speedup ${BATCH_SPEEDUP}x is below the 2x floor" >&2
+  exit 1
+}
+echo "batched throughput OK: ${BATCH_SPEEDUP}x at batch 8 (>= 2x)"
+
 echo "== tsan: race gate (build-tsan) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DINFUSERKI_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j --target \
   race_stress_test threadpool_test kv_cache_test obs_test \
-  obs_exporter_test serve_test serve_chaos_test
+  obs_exporter_test serve_test serve_chaos_test batched_decode_test
 for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test \
-                 obs_exporter_test serve_test serve_chaos_test; do
+                 obs_exporter_test serve_test serve_chaos_test \
+                 batched_decode_test; do
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$(pwd)/tsan.supp" \
     "$TSAN_DIR/tests/$tsan_test"
 done
@@ -245,7 +283,7 @@ echo "lint stage OK"
 
 echo "== docs: referenced paths exist =="
 DOCS_FAIL=0
-for doc in DESIGN.md EXPERIMENTS.md README.md; do
+for doc in DESIGN.md EXPERIMENTS.md README.md ARCHITECTURE.md; do
   [ -f "$doc" ] || continue
   # Check repo-relative code/script/doc paths named in backticks. Paths
   # with shell metacharacters or flags are skipped by the grep pattern.

@@ -1,0 +1,142 @@
+#include "model/batched_session.h"
+
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace infuserki::model {
+namespace {
+
+/// Batched-engine metrics. Shares the engine/prefill_tokens and
+/// engine/decode_tokens streams with DecodeSession (same registry names)
+/// and adds per-step batching telemetry.
+struct BatchedMetrics {
+  obs::Counter* sessions;
+  obs::Counter* prefill_tokens;
+  obs::Counter* decode_tokens;
+  obs::Counter* batched_steps;
+  obs::Counter* batched_rows;
+  obs::Histogram* batched_step_seconds;
+};
+
+BatchedMetrics& Metrics() {
+  // Locking contract: resolved once under the magic-static guard; the
+  // struct is immutable afterwards and all metric updates are relaxed
+  // atomics (the EngineMetrics idiom from decode_session.cc).
+  static BatchedMetrics* metrics = [] {
+    obs::Registry& registry = obs::Registry::Get();
+    return new BatchedMetrics{
+        registry.GetCounter("engine/sessions"),
+        registry.GetCounter("engine/prefill_tokens"),
+        registry.GetCounter("engine/decode_tokens"),
+        registry.GetCounter("engine/batched_steps"),
+        registry.GetCounter("engine/batched_rows"),
+        registry.GetHistogram("engine/batched_step_seconds")};
+  }();
+  return *metrics;
+}
+
+}  // namespace
+
+BatchedDecodeSession::BatchedDecodeSession(const TransformerLM& lm,
+                                           size_t max_rows)
+    : lm_(lm),
+      cache_(lm.config().num_layers, max_rows),
+      in_use_(max_rows, false) {
+  CHECK_GT(max_rows, size_t{0});
+  Metrics().sessions->Increment();
+}
+
+size_t BatchedDecodeSession::AcquireSlot() {
+  CHECK(HasFreeSlot()) << "all " << max_rows() << " batch slots are in use";
+  for (size_t slot = 0; slot < in_use_.size(); ++slot) {
+    if (!in_use_[slot]) {
+      in_use_[slot] = true;
+      ++active_rows_;
+      return slot;
+    }
+  }
+  CHECK(false) << "free-slot accounting out of sync";
+  return 0;
+}
+
+void BatchedDecodeSession::ReleaseSlot(size_t slot) {
+  CHECK_LT(slot, in_use_.size());
+  CHECK(in_use_[slot]) << "slot " << slot << " is not acquired";
+  cache_.ResetSlot(slot);
+  in_use_[slot] = false;
+  --active_rows_;
+}
+
+BatchedDecodeSession::SlotSnapshot BatchedDecodeSession::Snapshot(
+    size_t slot) const {
+  CHECK_LT(slot, in_use_.size());
+  CHECK(in_use_[slot]);
+  SlotSnapshot snapshot;
+  snapshot.tokens = cache_.tokens(slot);
+  size_t layers = cache_.num_layers();
+  snapshot.keys.reserve(layers);
+  snapshot.values.reserve(layers);
+  // Tensor copies share storage; pages are append-only (every extension
+  // replaces the handle with a fresh ConcatRows result), so the snapshot
+  // stays frozen at this boundary no matter how the slot decodes on.
+  for (size_t l = 0; l < layers; ++l) {
+    const LayerKv* page = cache_.layer(l, slot);
+    snapshot.keys.push_back(page->k);
+    snapshot.values.push_back(page->v);
+  }
+  return snapshot;
+}
+
+void BatchedDecodeSession::Restore(size_t slot,
+                                   const SlotSnapshot& snapshot) {
+  CHECK_LT(slot, in_use_.size());
+  CHECK(in_use_[slot]);
+  CHECK_EQ(cache_.tokens(slot), size_t{0})
+      << "Restore requires a fresh slot";
+  CHECK(!cache_.seeded(slot));
+  CHECK_EQ(snapshot.keys.size(), cache_.num_layers());
+  CHECK_EQ(snapshot.values.size(), cache_.num_layers());
+  cache_.SeedPrefix(nullptr, slot);
+  for (size_t l = 0; l < cache_.num_layers(); ++l) {
+    LayerKv* page = cache_.layer(l, slot);
+    page->k = snapshot.keys[l];
+    page->v = snapshot.values[l];
+  }
+  cache_.AdvanceTokens(snapshot.tokens, slot);
+}
+
+std::vector<tensor::Tensor> BatchedDecodeSession::Step(
+    const std::vector<RowInput>& rows) {
+  CHECK(!rows.empty());
+  BatchedMetrics& metrics = Metrics();
+  util::Stopwatch watch;
+  tensor::NoGradGuard no_grad;
+  std::vector<TransformerLM::BatchRow> batch;
+  batch.reserve(rows.size());
+  for (const RowInput& row : rows) {
+    CHECK_LT(row.slot, in_use_.size());
+    CHECK(in_use_[row.slot]) << "Step row uses unacquired slot " << row.slot;
+    batch.push_back(TransformerLM::BatchRow{&row.tokens, row.slot});
+  }
+  tensor::Tensor packed = lm_.LogitsBatched(batch, &cache_);
+  std::vector<tensor::Tensor> per_row;
+  per_row.reserve(rows.size());
+  size_t offset = 0;
+  for (const RowInput& row : rows) {
+    per_row.push_back(tensor::SliceRows(packed, offset, row.tokens.size()));
+    offset += row.tokens.size();
+    if (row.tokens.size() == 1) {
+      metrics.decode_tokens->Increment();
+    } else {
+      metrics.prefill_tokens->Increment(row.tokens.size());
+    }
+  }
+  metrics.batched_steps->Increment();
+  metrics.batched_rows->Increment(rows.size());
+  metrics.batched_step_seconds->Record(watch.ElapsedSeconds());
+  return per_row;
+}
+
+}  // namespace infuserki::model

@@ -1,0 +1,93 @@
+#ifndef INFUSERKI_MODEL_BATCHED_SESSION_H_
+#define INFUSERKI_MODEL_BATCHED_SESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/kv_cache.h"
+#include "model/transformer.h"
+
+namespace infuserki::model {
+
+/// Incremental inference over a pool of concurrent token sequences,
+/// decoded together in ragged batched steps.
+///
+/// Each in-flight sequence occupies one KV slot (see KvCache): AcquireSlot
+/// checks one out, Step() forwards every participating row's new tokens in
+/// ONE packed forward (prefill rows carry whole prompts, decode rows a
+/// single token — mixed freely), and ReleaseSlot recycles the slot for the
+/// next sequence. Every row of a Step is bit-exact with a single-sequence
+/// DecodeSession fed the same tokens (DESIGN.md §11): position-wise
+/// sublayers run packed with identical per-row arithmetic and attention
+/// runs per row against that row's own K/V page.
+///
+/// Snapshot()/Restore() save and replant a slot's K/V pages, which is how
+/// the serving layer's PrefixCache parks a prefilled prompt boundary and
+/// later seeds a fresh slot from it without re-running the prefill. A
+/// snapshot shares the underlying page storage (pages are never mutated in
+/// place — appends and truncations always produce fresh tensors), so two
+/// in-flight rows restored from the same snapshot share one copy of the
+/// prefix K/V until they diverge.
+///
+/// Sessions are single-threaded and inference-only (all forwards run under
+/// NoGradGuard; hooks / prefix tuning / tracing are unsupported — the
+/// generation layer routes those to the single-sequence paths).
+class BatchedDecodeSession {
+ public:
+  BatchedDecodeSession(const TransformerLM& lm, size_t max_rows);
+
+  size_t max_rows() const { return cache_.num_slots(); }
+  size_t active_rows() const { return active_rows_; }
+  bool HasFreeSlot() const { return active_rows_ < max_rows(); }
+
+  /// Hard sequence ceiling (the model's positional table size).
+  size_t max_tokens() const { return lm_.config().max_seq_len; }
+
+  /// Token positions fed to `slot` so far.
+  size_t tokens(size_t slot) const { return cache_.tokens(slot); }
+
+  /// Checks out a free slot (CHECK-fails when none is free; probe with
+  /// HasFreeSlot). The slot starts empty: the first Step row on it is a
+  /// prefill at position 0 unless Restore() replants saved pages first.
+  size_t AcquireSlot();
+
+  /// Returns `slot` to the free pool, dropping its K/V pages.
+  void ReleaseSlot(size_t slot);
+
+  /// A slot's per-layer K/V pages at some sequence boundary. Tensors share
+  /// storage with the live slot (cheap); `tokens` is the boundary length.
+  struct SlotSnapshot {
+    std::vector<tensor::Tensor> keys;
+    std::vector<tensor::Tensor> values;
+    size_t tokens = 0;
+  };
+
+  /// Captures `slot`'s current pages. Call at the prompt boundary (right
+  /// after the prefill Step) to get a reusable prefix snapshot.
+  SlotSnapshot Snapshot(size_t slot) const;
+
+  /// Replants `snapshot` into a freshly acquired (empty) `slot`: the next
+  /// Step row on it continues from position snapshot.tokens.
+  void Restore(size_t slot, const SlotSnapshot& snapshot);
+
+  /// One participating row of a batched step.
+  struct RowInput {
+    size_t slot = 0;
+    std::vector<int> tokens;  // new tokens for this row (>= 1)
+  };
+
+  /// Runs all rows' new tokens in one ragged batched forward and returns
+  /// per-row logits [T_r, V], in `rows` order. Rows must use distinct,
+  /// acquired slots.
+  std::vector<tensor::Tensor> Step(const std::vector<RowInput>& rows);
+
+ private:
+  const TransformerLM& lm_;
+  KvCache cache_;
+  std::vector<bool> in_use_;
+  size_t active_rows_ = 0;
+};
+
+}  // namespace infuserki::model
+
+#endif  // INFUSERKI_MODEL_BATCHED_SESSION_H_

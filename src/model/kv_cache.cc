@@ -4,25 +4,27 @@
 
 namespace infuserki::model {
 
-void KvCache::SeedPrefix(const PrefixKv* prefix) {
-  CHECK(!seeded_);
-  CHECK_EQ(tokens_, size_t{0});
-  seeded_ = true;
+void KvCache::SeedPrefix(const PrefixKv* prefix, size_t slot_index) {
+  Slot& slot = slots_.at(slot_index);
+  CHECK(!slot.seeded);
+  CHECK_EQ(slot.tokens, size_t{0});
+  slot.seeded = true;
   if (prefix == nullptr || prefix->prefix_len == 0) return;
-  CHECK_EQ(prefix->keys.size(), layers_.size());
-  CHECK_EQ(prefix->values.size(), layers_.size());
-  prefix_rows_ = prefix->prefix_len;
-  for (size_t l = 0; l < layers_.size(); ++l) {
-    layers_[l].k = prefix->keys[l].Detach();
-    layers_[l].v = prefix->values[l].Detach();
+  CHECK_EQ(prefix->keys.size(), num_layers_);
+  CHECK_EQ(prefix->values.size(), num_layers_);
+  slot.prefix_rows = prefix->prefix_len;
+  for (size_t l = 0; l < num_layers_; ++l) {
+    slot.layers[l].k = prefix->keys[l].Detach();
+    slot.layers[l].v = prefix->values[l].Detach();
   }
 }
 
-void KvCache::TruncateTokens(size_t num_tokens) {
-  CHECK_LE(num_tokens, tokens_);
-  if (num_tokens == tokens_) return;
-  size_t keep_rows = prefix_rows_ + num_tokens;
-  for (LayerKv& layer : layers_) {
+void KvCache::TruncateTokens(size_t num_tokens, size_t slot_index) {
+  Slot& slot = slots_.at(slot_index);
+  CHECK_LE(num_tokens, slot.tokens);
+  if (num_tokens == slot.tokens) return;
+  size_t keep_rows = slot.prefix_rows + num_tokens;
+  for (LayerKv& layer : slot.layers) {
     if (!layer.k.defined()) continue;
     if (keep_rows == 0) {
       layer.k = tensor::Tensor();
@@ -37,7 +39,18 @@ void KvCache::TruncateTokens(size_t num_tokens) {
     layer.k = tensor::Tensor::FromData({keep_rows, cols}, std::move(k_data));
     layer.v = tensor::Tensor::FromData({keep_rows, cols}, std::move(v_data));
   }
-  tokens_ = num_tokens;
+  slot.tokens = num_tokens;
+}
+
+void KvCache::ResetSlot(size_t slot_index) {
+  Slot& slot = slots_.at(slot_index);
+  for (LayerKv& layer : slot.layers) {
+    layer.k = tensor::Tensor();
+    layer.v = tensor::Tensor();
+  }
+  slot.prefix_rows = 0;
+  slot.tokens = 0;
+  slot.seeded = false;
 }
 
 }  // namespace infuserki::model

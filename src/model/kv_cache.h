@@ -19,46 +19,78 @@ struct LayerKv {
   size_t rows() const { return k.defined() ? k.dim(0) : 0; }
 };
 
-/// Per-layer attention key/value cache for incremental decoding.
+/// Per-layer attention key/value cache for incremental decoding, organised
+/// as a pool of independent slots.
 ///
-/// Grown by TransformerLM::LogitsIncremental (each chunked forward appends
-/// its new K/V rows) and truncated by DecodeSession::Rewind (prefix reuse).
-/// Rows are plain detached values: the cache is only ever filled under
-/// NoGradGuard.
+/// A slot is one logical sequence's set of K/V pages: `num_layers` LayerKv
+/// pages plus a cached-token count. The single-sequence engine
+/// (DecodeSession) uses a one-slot pool through the slot-defaulted
+/// accessors below; BatchedDecodeSession acquires one slot per in-flight
+/// batch row and the ragged batched forward appends each row's new K/V
+/// rows to that row's slot only — slots never share pages, so retiring or
+/// rewinding one row cannot disturb another.
+///
+/// Grown by TransformerLM::LogitsIncremental / LogitsBatched (each chunked
+/// forward appends its new K/V rows) and truncated by
+/// DecodeSession::Rewind (prefix reuse). Rows are plain detached values:
+/// the cache is only ever filled under NoGradGuard.
 class KvCache {
  public:
-  explicit KvCache(size_t num_layers) : layers_(num_layers) {}
+  explicit KvCache(size_t num_layers, size_t num_slots = 1)
+      : num_layers_(num_layers), slots_(num_slots) {
+    for (Slot& slot : slots_) slot.layers.resize(num_layers);
+  }
 
-  size_t num_layers() const { return layers_.size(); }
+  size_t num_layers() const { return num_layers_; }
+  size_t num_slots() const { return slots_.size(); }
 
-  /// Token positions cached so far (excludes prefix-tuning rows).
-  size_t tokens() const { return tokens_; }
+  /// Token positions cached so far in `slot` (excludes prefix-tuning rows).
+  size_t tokens(size_t slot = 0) const { return at(slot).tokens; }
 
-  /// Prefix-tuning rows per layer (0 without prefix tuning).
-  size_t prefix_rows() const { return prefix_rows_; }
+  /// Prefix-tuning rows per layer in `slot` (0 without prefix tuning).
+  size_t prefix_rows(size_t slot = 0) const { return at(slot).prefix_rows; }
 
-  LayerKv* layer(size_t i) { return &layers_[i]; }
+  LayerKv* layer(size_t i, size_t slot = 0) {
+    return &slots_.at(slot).layers.at(i);
+  }
+  const LayerKv* layer(size_t i, size_t slot = 0) const {
+    return &slots_.at(slot).layers.at(i);
+  }
 
-  bool seeded() const { return seeded_; }
+  bool seeded(size_t slot = 0) const { return at(slot).seeded; }
 
-  /// One-time seeding with prefix-tuning K/V rows (nullptr when the forward
-  /// has no prefix). Must run before the first incremental forward so the
-  /// prefix rows occupy the head of every layer's cache.
-  void SeedPrefix(const PrefixKv* prefix);
+  /// One-time seeding of `slot` with prefix-tuning K/V rows (nullptr when
+  /// the forward has no prefix). Must run before the slot's first
+  /// incremental forward so the prefix rows occupy the head of every
+  /// layer's page.
+  void SeedPrefix(const PrefixKv* prefix, size_t slot = 0);
 
-  /// Bumps the cached-token count after a chunked forward appended `count`
-  /// rows to every layer.
-  void AdvanceTokens(size_t count) { tokens_ += count; }
+  /// Bumps `slot`'s cached-token count after a chunked forward appended
+  /// `count` rows to every one of its layer pages.
+  void AdvanceTokens(size_t count, size_t slot = 0) {
+    slots_.at(slot).tokens += count;
+  }
 
-  /// Drops cached rows beyond `num_tokens` token positions (prefix-tuning
-  /// rows are always kept). Requires num_tokens <= tokens().
-  void TruncateTokens(size_t num_tokens);
+  /// Drops `slot`'s cached rows beyond `num_tokens` token positions
+  /// (prefix-tuning rows are always kept). Requires num_tokens <= tokens().
+  void TruncateTokens(size_t num_tokens, size_t slot = 0);
+
+  /// Returns `slot` to its pristine state: all pages dropped, token count
+  /// zero, unseeded. Used when a batch slot is recycled for a new row.
+  void ResetSlot(size_t slot);
 
  private:
-  std::vector<LayerKv> layers_;
-  size_t prefix_rows_ = 0;
-  size_t tokens_ = 0;
-  bool seeded_ = false;
+  struct Slot {
+    std::vector<LayerKv> layers;
+    size_t prefix_rows = 0;
+    size_t tokens = 0;
+    bool seeded = false;
+  };
+
+  const Slot& at(size_t slot) const { return slots_.at(slot); }
+
+  size_t num_layers_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace infuserki::model

@@ -4,6 +4,7 @@
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace infuserki::model {
 
@@ -83,6 +84,59 @@ Tensor TransformerLayer::Forward(const Tensor& x, int layer_index,
     Tensor delta = options.ffn_hook->FfnDelta(layer_index, ffn_in);
     if (delta.defined()) ffn_out = tensor::Add(ffn_out, delta);
   }
+  return tensor::Add(h, ffn_out);
+}
+
+Tensor TransformerLayer::ForwardBatched(
+    const Tensor& x, const std::vector<size_t>& row_lens,
+    const std::vector<LayerKv*>& row_kv) const {
+  CHECK_EQ(row_lens.size(), row_kv.size());
+  // Attention sublayer. The norm and the Q/K/V projections are
+  // position-wise, so running them on the packed batch produces — row for
+  // row — the same values as running each sequence alone.
+  Tensor attn_in = tensor::RmsNorm(x, norm1_weight_);
+  Tensor q = wq_.Forward(attn_in);
+  Tensor k = wk_.Forward(attn_in);
+  Tensor v = wv_.Forward(attn_in);
+  // Attention is the only sublayer that mixes positions, so it runs per
+  // row inside one ragged kernel call: each row's cached K/V page is
+  // extended with its new rows, then CausalSelfAttentionRagged attends
+  // every row against its own pages (cached rows as an always-visible
+  // prefix) with per-row arithmetic identical to the single-sequence
+  // kernel, fanning rows out over the global pool.
+  std::vector<size_t> row_offsets(row_lens.size());
+  size_t offset = 0;
+  for (size_t r = 0; r < row_lens.size(); ++r) {
+    CHECK_GT(row_lens[r], size_t{0});
+    row_offsets[r] = offset;
+    offset += row_lens[r];
+  }
+  CHECK_EQ(offset, x.dim(0));
+  std::vector<Tensor> keys(row_lens.size());
+  std::vector<Tensor> values(row_lens.size());
+  for (size_t r = 0; r < row_lens.size(); ++r) {
+    Tensor k_r = tensor::SliceRows(k, row_offsets[r], row_lens[r]);
+    Tensor v_r = tensor::SliceRows(v, row_offsets[r], row_lens[r]);
+    LayerKv* kv = row_kv[r];
+    if (kv->k.defined()) {
+      k_r = tensor::ConcatRows(kv->k, k_r);
+      v_r = tensor::ConcatRows(kv->v, v_r);
+    }
+    kv->k = k_r;
+    kv->v = v_r;
+    keys[r] = k_r;
+    values[r] = v_r;
+  }
+  Tensor attn =
+      tensor::CausalSelfAttentionRagged(q, keys, values, row_lens, num_heads_);
+  Tensor attn_out = wo_.Forward(attn);
+  Tensor h = tensor::Add(x, attn_out);
+
+  // FFN sublayer (SwiGLU) — position-wise, packed.
+  Tensor ffn_in = tensor::RmsNorm(h, norm2_weight_);
+  Tensor gate = tensor::Silu(ffn_gate_.Forward(ffn_in));
+  Tensor up = ffn_up_.Forward(ffn_in);
+  Tensor ffn_out = ffn_down_.Forward(tensor::Mul(gate, up));
   return tensor::Add(h, ffn_out);
 }
 
@@ -169,6 +223,58 @@ Tensor TransformerLM::LogitsIncremental(const std::vector<int>& tokens,
                                         KvCache* cache,
                                         const ForwardOptions& options) const {
   Tensor h = HiddenIncremental(tokens, cache, options);
+  return tensor::MatmulNT(h, token_emb_.table());
+}
+
+Tensor TransformerLM::HiddenBatched(const std::vector<BatchRow>& rows,
+                                    KvCache* cache) const {
+  CHECK(cache != nullptr);
+  CHECK(!rows.empty());
+  CHECK(!tensor::GradEnabled())
+      << "the batched path is inference-only (run under NoGradGuard)";
+  CHECK_EQ(cache->num_layers(), layers_.size());
+  std::vector<int> packed_tokens;
+  std::vector<int> packed_positions;
+  std::vector<size_t> row_lens;
+  row_lens.reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const BatchRow& row = rows[r];
+    CHECK(row.tokens != nullptr && !row.tokens->empty());
+    CHECK_LT(row.slot, cache->num_slots());
+    for (size_t other = 0; other < r; ++other) {
+      CHECK(rows[other].slot != row.slot)
+          << "batch rows must use distinct KV slots";
+    }
+    size_t start = cache->tokens(row.slot);
+    CHECK_LE(start + row.tokens->size(), config_.max_seq_len)
+        << "sequence exceeds max_seq_len";
+    if (!cache->seeded(row.slot)) cache->SeedPrefix(nullptr, row.slot);
+    CHECK_EQ(cache->prefix_rows(row.slot), size_t{0})
+        << "prefix tuning is not supported on the batched path";
+    for (size_t i = 0; i < row.tokens->size(); ++i) {
+      packed_tokens.push_back((*row.tokens)[i]);
+      packed_positions.push_back(static_cast<int>(start + i));
+    }
+    row_lens.push_back(row.tokens->size());
+  }
+  Tensor x = tensor::Add(token_emb_.Forward(packed_tokens),
+                         pos_emb_.Forward(packed_positions));
+  std::vector<LayerKv*> row_kv(rows.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      row_kv[r] = cache->layer(l, rows[r].slot);
+    }
+    x = layers_[l]->ForwardBatched(x, row_lens, row_kv);
+  }
+  for (const BatchRow& row : rows) {
+    cache->AdvanceTokens(row.tokens->size(), row.slot);
+  }
+  return tensor::RmsNorm(x, final_norm_weight_);
+}
+
+Tensor TransformerLM::LogitsBatched(const std::vector<BatchRow>& rows,
+                                    KvCache* cache) const {
+  Tensor h = HiddenBatched(rows, cache);
   return tensor::MatmulNT(h, token_emb_.table());
 }
 

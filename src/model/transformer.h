@@ -33,6 +33,19 @@ class TransformerLayer : public tensor::Module {
                          const ForwardOptions& options,
                          LayerKv* kv = nullptr) const;
 
+  /// Ragged batched residual-stream update. `x` is the packed batch
+  /// [sum(row_lens), D] — row r's new positions occupy the `row_lens[r]`
+  /// consecutive rows starting at offset sum(row_lens[0..r)). Every
+  /// position-wise sublayer (norms, projections, SwiGLU, residuals) runs on
+  /// the packed tensor directly — the arithmetic for each row is identical
+  /// to the single-sequence Forward — while attention is computed per row
+  /// against `row_kv[r]`, that row's cached K/V page (new rows appended,
+  /// exactly as the single-sequence cached path). Bit-exact per row with
+  /// Forward; no hook / prefix-tuning / trace support (serving path).
+  tensor::Tensor ForwardBatched(const tensor::Tensor& x,
+                                const std::vector<size_t>& row_lens,
+                                const std::vector<LayerKv*>& row_kv) const;
+
   tensor::Linear& wq() { return wq_; }
   tensor::Linear& wk() { return wk_; }
   tensor::Linear& wv() { return wv_; }
@@ -83,6 +96,30 @@ class TransformerLM : public tensor::Module {
   tensor::Tensor LogitsIncremental(const std::vector<int>& tokens,
                                    KvCache* cache,
                                    const ForwardOptions& options = {}) const;
+
+  /// One row of a ragged batched forward: the row's NEW tokens plus the
+  /// KvCache slot holding its previously cached K/V pages. Prefill rows
+  /// carry whole prompts, decode rows carry a single token — mixed freely
+  /// in one batch.
+  struct BatchRow {
+    const std::vector<int>* tokens = nullptr;
+    size_t slot = 0;
+  };
+
+  /// Ragged batched incremental forward: every row's new tokens run at
+  /// positions cache->tokens(row.slot) .. in ONE packed forward, appending
+  /// each row's new K/V rows to its own slot. Returns packed final-norm
+  /// hidden states [sum_T, D], rows in batch order (slice with
+  /// tensor::SliceRows). Each output row is bit-exact with the
+  /// single-sequence HiddenIncremental of that row alone (DESIGN.md §11).
+  /// Inference-only; call under NoGradGuard. Slots must be distinct; hooks,
+  /// prefix tuning and tracing are not supported on this path.
+  tensor::Tensor HiddenBatched(const std::vector<BatchRow>& rows,
+                               KvCache* cache) const;
+
+  /// HiddenBatched through the tied output head -> [sum_T, V].
+  tensor::Tensor LogitsBatched(const std::vector<BatchRow>& rows,
+                               KvCache* cache) const;
 
   /// Mean next-token cross entropy over positions >= loss_start (0 = whole
   /// sequence). Position t predicts tokens[t + 1]; with loss_start = p only

@@ -15,8 +15,8 @@ struct CacheMetrics {
 
 CacheMetrics& Metrics() {
   // Resolved once under the magic-static guard; updates afterwards are
-  // relaxed atomics, so Put/Take publish without touching the registry
-  // lock (same idiom as EngineMetrics in decode_session.cc).
+  // relaxed atomics, so Lookup/Insert publish without touching the
+  // registry lock (same idiom as EngineMetrics in decode_session.cc).
   static CacheMetrics* metrics = [] {
     obs::Registry& registry = obs::Registry::Get();
     return new CacheMetrics{registry.GetCounter("serve/evictions"),
@@ -31,28 +31,27 @@ CacheMetrics& Metrics() {
 PrefixCache::PrefixCache(size_t budget_tokens)
     : budget_tokens_(budget_tokens) {}
 
-std::unique_ptr<PrefixCache::Entry> PrefixCache::Take(
+std::shared_ptr<const PrefixCache::Entry> PrefixCache::Lookup(
     const std::vector<int>& prompt) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(prompt);
   if (it == slots_.end()) return nullptr;
-  std::unique_ptr<Entry> entry = std::move(it->second.entry);
-  cached_tokens_ -= entry->prompt.size();
-  slots_.erase(it);
-  ++tick_;
-  PublishLocked();
-  return entry;
+  it->second.last_use = ++tick_;
+  return it->second.entry;
 }
 
-size_t PrefixCache::Put(std::unique_ptr<Entry> entry) {
+size_t PrefixCache::Insert(std::shared_ptr<const Entry> entry) {
   if (entry == nullptr) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(entry->prompt);
   if (it != slots_.end()) {
-    // Another worker re-prefilled the same prompt while we decoded; keep
-    // the resident copy and count the incoming one as evicted.
-    Metrics().evictions->Increment();
-    return 1;
+    // The prompt is already resident (e.g. two batch rows prefilled it
+    // concurrently, or a prefix-hit row is re-publishing at retirement).
+    // Keep the resident copy — sharers may already hold it — and only
+    // refresh recency. Budget accounting is untouched: the prefix is
+    // stored and counted exactly once however many rows share it.
+    it->second.last_use = ++tick_;
+    return 0;
   }
   size_t tokens = entry->prompt.size();
   std::vector<int> key = entry->prompt;
@@ -90,6 +89,8 @@ size_t PrefixCache::EnforceBudgetLocked() {
     for (auto it = slots_.begin(); it != slots_.end(); ++it) {
       if (it->second.last_use < victim->second.last_use) victim = it;
     }
+    // Dropping the pool's reference frees the pages only once the last
+    // in-flight sharer releases its handle.
     cached_tokens_ -= victim->second.entry->prompt.size();
     slots_.erase(victim);
     Metrics().evictions->Increment();

@@ -8,55 +8,62 @@
 #include <mutex>
 #include <vector>
 
-#include "model/decode_session.h"
+#include "model/batched_session.h"
 
 namespace infuserki::serve {
 
-/// LRU pool of prefilled DecodeSessions, keyed by exact prompt token ids
+/// LRU pool of prefilled prompt prefixes, keyed by exact prompt token ids
 /// and bounded by a KV-token budget.
 ///
-/// A cached entry holds a session whose KV cache ends exactly at the prompt
-/// boundary (its checkpoint `mark`), plus a copy of the prompt-boundary
-/// logits row — a rewound session has no logits for the first continuation
-/// token, so the row is captured at prefill time and replayed on reuse.
+/// A cached entry holds an immutable snapshot of the per-layer K/V pages at
+/// the prompt boundary (see BatchedDecodeSession::SlotSnapshot), plus a
+/// copy of the prompt-boundary logits row — a replanted snapshot has no
+/// logits for the first continuation token, so the row is captured at
+/// prefill time and replayed on reuse.
 ///
-/// Ownership protocol: Take() removes the entry from the pool, giving the
-/// caller exclusive use of the (single-threaded) session; after decoding,
-/// the caller rewinds to `mark` and Put()s the entry back. An entry whose
-/// session failed mid-decode is simply dropped instead of returned. Put()
-/// evicts least-recently-used entries until the total cached prompt tokens
-/// fit the budget again — possibly evicting the incoming entry itself when
-/// it alone exceeds the budget — so cached KV memory stays bounded no
-/// matter the request mix. Evictions and occupancy are published through
-/// the `serve/` metrics (DESIGN.md §6).
+/// Sharing protocol: entries are immutable and reference-counted. Lookup()
+/// returns a shared handle WITHOUT removing the entry, so any number of
+/// in-flight batch rows can restore their slots from the same snapshot
+/// concurrently — the prefix K/V is stored once, counted against the
+/// budget once, and kept alive by the sharers even if the pool evicts it
+/// mid-decode. (The pre-batching design checked entries out exclusively,
+/// which both serialized same-prompt requests and double-counted their
+/// tokens; see DESIGN.md §11.) Insert() publishes a freshly prefilled
+/// entry, then evicts least-recently-used entries until the total cached
+/// prompt tokens fit the budget again — possibly evicting the incoming
+/// entry itself when it alone exceeds the budget — so cached KV memory
+/// stays bounded no matter the request mix. Inserting a prompt that is
+/// already resident only refreshes its LRU stamp (no eviction, no
+/// double-count). Evictions and occupancy are published through the
+/// `serve/` metrics (DESIGN.md §6).
 class PrefixCache {
  public:
-  /// One reusable prefilled prefix.
+  /// One reusable prefilled prefix. Immutable once published.
   struct Entry {
     std::vector<int> prompt;
-    std::unique_ptr<model::DecodeSession> session;
-    model::DecodeSession::Checkpoint mark;  // the prompt boundary
+    model::BatchedDecodeSession::SlotSnapshot pages;  // the prompt boundary
     std::vector<float> last_row;  // logits row scoring the next token
   };
 
   /// `budget_tokens` caps the sum of cached prompt lengths; 0 disables
-  /// caching entirely (every Put is an immediate eviction).
+  /// caching entirely (every Insert is an immediate eviction).
   explicit PrefixCache(size_t budget_tokens);
 
   PrefixCache(const PrefixCache&) = delete;
   PrefixCache& operator=(const PrefixCache&) = delete;
 
-  /// Removes and returns the entry for `prompt`, or null on a miss. The
-  /// caller owns the entry exclusively until it is Put() back or dropped.
-  std::unique_ptr<Entry> Take(const std::vector<int>& prompt);
+  /// Returns a shared handle to the entry for `prompt` (refreshing its LRU
+  /// stamp), or null on a miss. The entry stays resident and available to
+  /// other callers.
+  std::shared_ptr<const Entry> Lookup(const std::vector<int>& prompt);
 
-  /// Returns an entry to the pool (caller must have rewound the session to
-  /// `mark` first), then enforces the budget by LRU eviction. If another
-  /// entry for the same prompt was inserted meanwhile, the incoming one is
-  /// dropped. Null entries are ignored. Returns the number of entries
-  /// evicted by this call (including an incoming duplicate), so callers
-  /// can attribute evictions to the request that triggered them.
-  size_t Put(std::unique_ptr<Entry> entry);
+  /// Publishes an entry, then enforces the budget by LRU eviction. If the
+  /// same prompt is already resident its LRU stamp is refreshed and the
+  /// incoming handle is simply not stored (the sharers' copy wins; no
+  /// eviction counted). Null entries are ignored. Returns the number of
+  /// entries evicted by this call, so callers can attribute evictions to
+  /// the request that triggered them.
+  size_t Insert(std::shared_ptr<const Entry> entry);
 
   /// Drops every cached entry (keeps the budget).
   void Clear();
@@ -67,7 +74,7 @@ class PrefixCache {
 
  private:
   struct Slot {
-    std::unique_ptr<Entry> entry;
+    std::shared_ptr<const Entry> entry;
     uint64_t last_use = 0;
   };
 

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/stopwatch.h"
 
@@ -27,6 +28,8 @@ struct ServeMetrics {
   obs::Counter* cancelled;
   obs::Gauge* queue_depth;
   obs::Gauge* queue_depth_max;
+  obs::Gauge* batch_size;
+  obs::Histogram* batch_occupancy;
   obs::Histogram* queue_wait_seconds;
   obs::Histogram* request_seconds;
   obs::Histogram* tokens_generated;
@@ -40,8 +43,8 @@ struct ServeMetrics {
 
 ServeMetrics& Metrics() {
   // Magic-static resolution, relaxed-atomic updates afterwards (the
-  // EngineMetrics idiom from decode_session.cc): workers publish without
-  // the registry lock.
+  // EngineMetrics idiom from decode_session.cc): the scheduler and
+  // fallback threads publish without the registry lock.
   static ServeMetrics* metrics = [] {
     obs::Registry& registry = obs::Registry::Get();
     return new ServeMetrics{
@@ -57,6 +60,8 @@ ServeMetrics& Metrics() {
         registry.GetCounter("serve/cancelled"),
         registry.GetGauge("serve/queue_depth"),
         registry.GetGauge("serve/queue_depth_max"),
+        registry.GetGauge("serve/batch_size"),
+        registry.GetHistogram("serve/batch_occupancy"),
         registry.GetHistogram("serve/queue_wait_seconds"),
         registry.GetHistogram("serve/request_seconds"),
         registry.GetHistogram("serve/tokens_generated"),
@@ -97,11 +102,8 @@ InferenceServer::InferenceServer(const model::TransformerLM& lm,
       tokenizer_(tokenizer),
       options_(std::move(options)),
       cache_(options_.kv_budget_tokens) {
-  size_t workers = std::max<size_t>(1, options_.num_workers);
-  workers_.reserve(workers);
-  for (size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back(&InferenceServer::WorkerLoop, this);
-  }
+  scheduler_ = std::thread(&InferenceServer::SchedulerLoop, this);
+  fallback_ = std::thread(&InferenceServer::FallbackLoop, this);
   if (options_.exporter.period.count() > 0) {
     // The server owns the export thread and chains its queue-depth
     // sampling ahead of any caller-provided tick hook.
@@ -185,6 +187,7 @@ void InferenceServer::Shutdown() {
     }
   }
   work_ready_.notify_all();
+  fallback_ready_.notify_all();
   for (std::unique_ptr<Job>& job : orphaned) {
     Metrics().cancelled->Increment();
     Response response;
@@ -195,10 +198,11 @@ void InferenceServer::Shutdown() {
     job->trace.End("serve/request");
     job->promise.set_value(std::move(response));
   }
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  if (scheduler_.joinable()) scheduler_.join();
+  // The scheduler may have handed degraded rows to the fallback thread on
+  // its way out; wake it again so it drains them before exiting.
+  fallback_ready_.notify_all();
+  if (fallback_.joinable()) fallback_.join();
   // After the last request resolved: one final flush so short-lived
   // servers still leave a complete record, then the thread stops.
   if (exporter_ != nullptr) exporter_->Stop();
@@ -209,272 +213,459 @@ size_t InferenceServer::queue_depth() const {
   return queue_.size();
 }
 
-void InferenceServer::WorkerLoop() {
-  while (true) {
-    std::unique_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_started_ || !queue_.empty();
-      });
-      if (queue_.empty()) return;  // only reachable on shutdown
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
-    }
-    Process(job.get());
+void InferenceServer::NoteToken(Flight* flight) {
+  int64_t now_us = obs::NowMicros();
+  if (flight->generated.size() == 1) {
+    flight->response.ttft_seconds =
+        std::chrono::duration<double>(Clock::now() - flight->job->enqueued)
+            .count();
+  } else if (flight->last_token_us != 0) {
+    Metrics().inter_token_seconds->Record(
+        static_cast<double>(now_us - flight->last_token_us) * 1e-6);
   }
+  flight->last_token_us = now_us;
 }
 
-void InferenceServer::Process(Job* job) {
-  OBS_SPAN("serve/request");
-  tensor::NoGradGuard no_grad;
+void InferenceServer::Deliver(Flight* flight, util::Status status) {
   ServeMetrics& metrics = Metrics();
-  util::Stopwatch watch;
-  Response response;
-  response.request_id = job->trace.id();
-  response.queue_seconds =
-      std::chrono::duration<double>(Clock::now() - job->enqueued).count();
-  metrics.queue_wait_seconds->Record(response.queue_seconds);
-  job->trace.Phase("queue", job->trace.begin_us(), obs::NowMicros());
-
-  const bool bounded = job->deadline != Clock::time_point{};
-  auto expired = [&] { return bounded && Clock::now() >= job->deadline; };
-
-  // Token-level SLO bookkeeping shared by the cached and degraded paths:
-  // the first token of the (eventually delivered) stream stamps TTFT,
-  // every later token records the inter-token gap.
-  int64_t last_token_us = 0;
-  auto note_token = [&](size_t stream_size) {
-    int64_t now_us = obs::NowMicros();
-    if (stream_size == 1) {
-      response.ttft_seconds =
-          std::chrono::duration<double>(Clock::now() - job->enqueued)
-              .count();
-    } else if (last_token_us != 0) {
-      metrics.inter_token_seconds->Record(
-          static_cast<double>(now_us - last_token_us) * 1e-6);
-    }
-    last_token_us = now_us;
-  };
-
+  Response& response = flight->response;
+  response.status = std::move(status);
+  double processing = flight->watch.ElapsedSeconds();
+  response.total_seconds = response.queue_seconds + processing;
+  metrics.request_seconds->Record(processing);
+  if (response.ttft_seconds > 0.0) {
+    metrics.ttft_seconds->Record(response.ttft_seconds);
+  }
   // Single exit: classify the terminal status into the accounting
   // counters (requests == completed + shed + deadline_misses + cancelled
   // + failures holds at every quiescent point), record the per-outcome
   // latency, close the request's trace track, and resolve the promise.
-  auto deliver = [&](util::Status status) {
-    response.status = std::move(status);
-    double processing = watch.ElapsedSeconds();
-    response.total_seconds = response.queue_seconds + processing;
-    metrics.request_seconds->Record(processing);
-    if (response.ttft_seconds > 0.0) {
-      metrics.ttft_seconds->Record(response.ttft_seconds);
-    }
-    switch (response.status.code()) {
-      case util::StatusCode::kOk:
-        metrics.tokens_generated->Record(
-            static_cast<double>(response.tokens.size()));
-        metrics.completed->Increment();
-        metrics.e2e_ok_seconds->Record(response.total_seconds);
-        break;
-      case util::StatusCode::kDeadlineExceeded:
-        metrics.deadline_misses->Increment();
-        metrics.e2e_deadline_seconds->Record(response.total_seconds);
-        job->trace.Mark("deadline");
-        break;
-      case util::StatusCode::kCancelled:
-      case util::StatusCode::kUnavailable:
-        metrics.cancelled->Increment();
-        metrics.e2e_error_seconds->Record(response.total_seconds);
-        job->trace.Mark("cancelled");
-        break;
-      default:
-        metrics.failures->Increment();
-        metrics.e2e_error_seconds->Record(response.total_seconds);
-        job->trace.Mark("failure");
-    }
-    job->trace.End("serve/request");
-    job->promise.set_value(std::move(response));
-  };
-
-  if (shutting_down_.load(std::memory_order_relaxed)) {
-    deliver(util::Status::Cancelled("server shutting down"));
-    return;
+  switch (response.status.code()) {
+    case util::StatusCode::kOk:
+      metrics.tokens_generated->Record(
+          static_cast<double>(response.tokens.size()));
+      metrics.completed->Increment();
+      metrics.e2e_ok_seconds->Record(response.total_seconds);
+      break;
+    case util::StatusCode::kDeadlineExceeded:
+      metrics.deadline_misses->Increment();
+      metrics.e2e_deadline_seconds->Record(response.total_seconds);
+      flight->job->trace.Mark("deadline");
+      break;
+    case util::StatusCode::kCancelled:
+    case util::StatusCode::kUnavailable:
+      metrics.cancelled->Increment();
+      metrics.e2e_error_seconds->Record(response.total_seconds);
+      flight->job->trace.Mark("cancelled");
+      break;
+    default:
+      metrics.failures->Increment();
+      metrics.e2e_error_seconds->Record(response.total_seconds);
+      flight->job->trace.Mark("failure");
   }
-  if (expired()) {
-    deliver(util::Status::DeadlineExceeded("deadline expired in queue"));
-    return;
-  }
+  flight->job->trace.End("serve/request");
+  flight->job->promise.set_value(std::move(response));
+}
 
+util::Status InferenceServer::RetryStep(
+    Flight* flight, const std::function<util::Status()>& step,
+    const std::string& what) {
   // Per-request retry policy: the request deadline bounds the whole
   // backoff loop, so retries can never outlive the request they serve.
   util::RetryOptions retry = options_.retry;
-  retry.deadline = job->deadline;
-  auto retry_step = [&](const std::function<util::Status()>& step,
-                        const std::string& what) {
-    int attempts = 0;
-    util::Status status = util::RetryWithBackoff(
-        [&] {
-          ++attempts;
-          return step();
-        },
-        retry, what);
-    if (attempts > 1) {
-      metrics.retries->Increment(static_cast<uint64_t>(attempts - 1));
-      response.retries += attempts - 1;
-      job->trace.Mark("retry:" + what);
-    }
-    return status;
+  retry.deadline = flight->job->deadline;
+  int attempts = 0;
+  util::Status status = util::RetryWithBackoff(
+      [&] {
+        ++attempts;
+        return step();
+      },
+      retry, what);
+  if (attempts > 1) {
+    Metrics().retries->Increment(static_cast<uint64_t>(attempts - 1));
+    flight->response.retries += attempts - 1;
+    flight->job->trace.Mark("retry:" + what);
+  }
+  return status;
+}
+
+bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
+                               model::BatchedDecodeSession* session,
+                               std::vector<std::unique_ptr<Flight>>* rows,
+                               size_t* step_tokens) {
+  ServeMetrics& metrics = Metrics();
+  auto flight = std::make_unique<Flight>();
+  flight->job = std::move(job);
+  Job* j = flight->job.get();
+  flight->response.request_id = j->trace.id();
+  flight->response.retries = j->carried_retries;
+  // Queue-side stats are recorded exactly once per request — on every
+  // admission outcome except deferral (a deferred job re-enters admission
+  // later and its continued wait still counts as queue time).
+  auto note_queue = [&] {
+    flight->response.queue_seconds =
+        std::chrono::duration<double>(Clock::now() - j->enqueued).count();
+    metrics.queue_wait_seconds->Record(flight->response.queue_seconds);
+    j->trace.Phase("queue", j->trace.begin_us(), obs::NowMicros());
   };
 
-  util::Status tokenize_status = retry_step(
-      [] { return FAULT_POINT("serve/tokenize"); }, "serve tokenize");
-  if (!tokenize_status.ok()) {
-    deliver(std::move(tokenize_status));
-    return;
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    note_queue();
+    Deliver(flight.get(), util::Status::Cancelled("server shutting down"));
+    return true;
   }
-  const std::vector<int> prompt_ids =
-      tokenizer_.EncodeWithSpecials(job->request.prompt, false);
+  if (Expired(*flight)) {
+    note_queue();
+    Deliver(flight.get(),
+            util::Status::DeadlineExceeded("deadline expired in queue"));
+    return true;
+  }
+
+  // Tokenization (and its fault point) runs once per request, cached in
+  // the job across budget deferrals so a deferred job neither re-fires the
+  // fault point nor loses its absorbed-retry count.
+  if (!j->tokenized) {
+    util::Status tokenize_status = RetryStep(
+        flight.get(), [] { return FAULT_POINT("serve/tokenize"); },
+        "serve tokenize");
+    if (!tokenize_status.ok()) {
+      note_queue();
+      Deliver(flight.get(), std::move(tokenize_status));
+      return true;
+    }
+    j->prompt_ids =
+        tokenizer_.EncodeWithSpecials(j->request.prompt, false);
+    j->tokenized = true;
+  }
 
   const size_t max_seq = lm_.config().max_seq_len;
-  const size_t vocab = lm_.config().vocab_size;
-  if (prompt_ids.size() >= max_seq) {
-    deliver(util::Status::InvalidArgument(
-        "prompt of " + std::to_string(prompt_ids.size()) +
-        " tokens leaves no room under max_seq_len " +
-        std::to_string(max_seq)));
-    return;
+  if (j->prompt_ids.size() >= max_seq) {
+    note_queue();
+    Deliver(flight.get(),
+            util::Status::InvalidArgument(
+                "prompt of " + std::to_string(j->prompt_ids.size()) +
+                " tokens leaves no room under max_seq_len " +
+                std::to_string(max_seq)));
+    return true;
   }
-  size_t max_new = job->request.max_new_tokens > 0
-                       ? job->request.max_new_tokens
+  size_t max_new = j->request.max_new_tokens > 0
+                       ? j->request.max_new_tokens
                        : options_.default_max_new_tokens;
-  max_new = std::min(max_new, max_seq - prompt_ids.size());
+  max_new = std::min(max_new, max_seq - j->prompt_ids.size());
   if (max_new == 0) {
-    deliver(util::Status::OK());
-    return;
+    note_queue();
+    Deliver(flight.get(), util::Status::OK());
+    return true;
   }
 
-  // --- Primary path: KV-cached incremental decode. -----------------------
-  std::unique_ptr<PrefixCache::Entry> entry = cache_.Take(prompt_ids);
+  // Step-token budget: a prefix hit joins the decode wave (1 token this
+  // step), a miss must prefill its whole prompt. A prompt that does not
+  // fit next to the current batch is deferred — unless the batch is empty,
+  // in which case it runs solo (it is < max_seq_len, so it always can).
+  std::shared_ptr<const PrefixCache::Entry> entry =
+      cache_.Lookup(j->prompt_ids);
+  size_t need = entry != nullptr ? 1 : j->prompt_ids.size();
+  if (!rows->empty() && *step_tokens + need > options_.max_batch_tokens) {
+    j->carried_retries = flight->response.retries;
+    std::unique_ptr<Job> back = std::move(flight->job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_front(std::move(back));
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    return false;
+  }
+
+  note_queue();
+  flight->prompt_ids = j->prompt_ids;
+  flight->max_new = max_new;
   if (entry != nullptr) {
     metrics.prefix_hits->Increment();
-    response.prefix_hit = true;
-    job->trace.Mark("prefix_hit");
+    flight->response.prefix_hit = true;
+    j->trace.Mark("prefix_hit");
+    flight->slot = session->AcquireSlot();
+    session->Restore(flight->slot, entry->pages);
+    flight->next_row = entry->last_row;
+    flight->prefilled = true;
+    flight->cache_entry = std::move(entry);
   } else {
     metrics.prefix_misses->Increment();
-    int64_t prefill_begin_us = obs::NowMicros();
-    util::Status prefill_status = retry_step(
-        [] { return FAULT_POINT("serve/prefill"); }, "serve prefill");
-    if (prefill_status.ok()) {
-      entry = std::make_unique<PrefixCache::Entry>();
-      entry->prompt = prompt_ids;
-      entry->session = std::make_unique<model::DecodeSession>(lm_);
-      tensor::Tensor logits = entry->session->Prefill(prompt_ids);
-      entry->mark = entry->session->Save();
-      entry->last_row = LastRow(logits);
-      job->trace.Phase("prefill", prefill_begin_us, obs::NowMicros());
+    util::Status prefill_status = RetryStep(
+        flight.get(), [] { return FAULT_POINT("serve/prefill"); },
+        "serve prefill");
+    if (!prefill_status.ok()) {
+      // A permanent prefill fault degrades the request to the cacheless
+      // fallback path rather than failing it — and without ever taking a
+      // batch slot.
+      DegradeToFallback(std::move(flight));
+      return true;
     }
-    // A permanent prefill fault leaves `entry` null: fall through to the
-    // cacheless path below rather than failing the request.
+    flight->slot = session->AcquireSlot();
   }
+  flight->step_begin_us = obs::NowMicros();
+  rows->push_back(std::move(flight));
+  return true;
+}
 
-  std::vector<int> generated;
-  bool poisoned = (entry == nullptr);
-  if (entry != nullptr) {
-    // Mirrors generation.cc DecodeIncremental token for token; the
-    // cancellation / deadline probes only cut the loop short, they never
-    // change which token is picked.
-    std::vector<float> row = entry->last_row;
-    int64_t step_begin_us = obs::NowMicros();
-    while (true) {
+void InferenceServer::DegradeToFallback(std::unique_ptr<Flight> flight) {
+  Metrics().degraded->Increment();
+  Flight* f = flight.get();
+  f->response.degraded = true;
+  f->response.prefix_hit = false;
+  f->job->trace.Mark("degraded");
+  // The delivered stream restarts from scratch, so TTFT and the
+  // inter-token clock restart with it.
+  f->generated.clear();
+  f->response.ttft_seconds = 0.0;
+  f->last_token_us = 0;
+  f->cache_entry.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fallback_queue_.push_back(std::move(flight));
+  }
+  fallback_ready_.notify_one();
+}
+
+void InferenceServer::SchedulerLoop() {
+  tensor::NoGradGuard no_grad;
+  ServeMetrics& metrics = Metrics();
+  model::BatchedDecodeSession session(
+      lm_, std::max<size_t>(1, options_.max_batch_rows));
+  std::vector<std::unique_ptr<Flight>> rows;
+  const size_t max_seq = lm_.config().max_seq_len;
+  const size_t vocab = lm_.config().vocab_size;
+
+  // Parks a retiring row's prompt-boundary pages in the prefix cache.
+  auto park = [&](Flight* f) {
+    if (f->cache_entry == nullptr) return;
+    if (cache_.Insert(f->cache_entry) > 0) f->job->trace.Mark("cache_evict");
+  };
+  auto release = [&](std::unique_ptr<Flight>* slot_owner) {
+    session.ReleaseSlot((*slot_owner)->slot);
+    slot_owner->reset();
+  };
+
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (rows.empty()) {
+        work_ready_.wait(lock, [&] {
+          return shutdown_started_ || !queue_.empty();
+        });
+      }
+    }
+    if (shutting_down_.load(std::memory_order_relaxed)) {
+      // Cancel in-flight rows (their partial streams are dropped — the
+      // server is going away), then drain any jobs still queued (e.g. one
+      // deferred back after Shutdown() swept the queue).
+      for (std::unique_ptr<Flight>& flight : rows) {
+        Deliver(flight.get(),
+                util::Status::Cancelled("server shutting down"));
+        session.ReleaseSlot(flight->slot);
+      }
+      rows.clear();
+      std::deque<std::unique_ptr<Job>> orphaned;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        orphaned.swap(queue_);
+      }
+      for (std::unique_ptr<Job>& job : orphaned) {
+        metrics.cancelled->Increment();
+        Response response;
+        response.request_id = job->trace.id();
+        response.status =
+            util::Status::Unavailable("server shut down before execution");
+        job->trace.Mark("cancelled");
+        job->trace.End("serve/request");
+        job->promise.set_value(std::move(response));
+      }
+      return;
+    }
+
+    // --- Admission: fill free slots from the queue head, FIFO, until the
+    // step-token budget is spent. ---------------------------------------
+    size_t step_tokens = rows.size();  // each in-flight row feeds 1 token
+    while (rows.size() < session.max_rows()) {
+      std::unique_ptr<Job> job;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty()) break;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+      }
+      if (!AdmitOne(std::move(job), &session, &rows, &step_tokens)) break;
+    }
+    if (rows.empty()) continue;
+
+    // --- Token selection & retirement. Mirrors the sequential decode
+    // loop per row; probes only cut a row short, they never change which
+    // token is picked, so every stream stays bit-exact. ------------------
+    std::vector<model::BatchedDecodeSession::RowInput> inputs;
+    std::vector<size_t> input_flight;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Flight& f = *rows[i];
       if (shutting_down_.load(std::memory_order_relaxed)) {
-        deliver(util::Status::Cancelled("server shutting down"));
-        return;  // cache entry dropped; the server is going away anyway
+        Deliver(&f, util::Status::Cancelled("server shutting down"));
+        release(&rows[i]);
+        continue;
       }
-      if (expired()) {
-        entry->session->Rewind(entry->mark);
-        if (cache_.Put(std::move(entry)) > 0) job->trace.Mark("cache_evict");
-        response.tokens = std::move(generated);
-        deliver(util::Status::DeadlineExceeded(
-            "deadline expired after " +
-            std::to_string(response.tokens.size()) + " tokens"));
-        return;
+      if (Expired(f)) {
+        park(&f);
+        f.response.tokens = std::move(f.generated);
+        Deliver(&f, util::Status::DeadlineExceeded(
+                        "deadline expired after " +
+                        std::to_string(f.response.tokens.size()) +
+                        " tokens"));
+        release(&rows[i]);
+        continue;
       }
-      int next = ArgmaxRow(row.data(), vocab);
-      if (next == text::kEosId) break;
-      generated.push_back(next);
-      note_token(generated.size());
-      job->trace.Phase("decode_step", step_begin_us, last_token_us);
-      step_begin_us = last_token_us;
-      if (generated.size() >= max_new) break;
-      if (prompt_ids.size() + generated.size() >= max_seq) break;
-      util::Status step_status = retry_step(
-          [] { return FAULT_POINT("serve/decode_step"); }, "decode step");
+      if (!f.prefilled) {
+        // Prompt not yet forwarded: this row's step input is the prefill.
+        f.step_begin_us = obs::NowMicros();
+        inputs.push_back(
+            model::BatchedDecodeSession::RowInput{f.slot, f.prompt_ids});
+        input_flight.push_back(i);
+        continue;
+      }
+      int next = ArgmaxRow(f.next_row.data(), vocab);
+      if (next == text::kEosId) {
+        park(&f);
+        f.response.tokens = std::move(f.generated);
+        util::StatusOr<std::string> text =
+            tokenizer_.Decode(f.response.tokens);
+        if (!text.ok()) {
+          Deliver(&f, text.status());
+        } else {
+          f.response.text = std::move(*text);
+          Deliver(&f, util::Status::OK());
+        }
+        release(&rows[i]);
+        continue;
+      }
+      f.generated.push_back(next);
+      NoteToken(&f);
+      f.job->trace.Phase("decode_step", f.step_begin_us, f.last_token_us);
+      f.step_begin_us = f.last_token_us;
+      if (f.generated.size() >= f.max_new ||
+          f.prompt_ids.size() + f.generated.size() >= max_seq) {
+        park(&f);
+        f.response.tokens = std::move(f.generated);
+        util::StatusOr<std::string> text =
+            tokenizer_.Decode(f.response.tokens);
+        if (!text.ok()) {
+          Deliver(&f, text.status());
+        } else {
+          f.response.text = std::move(*text);
+          Deliver(&f, util::Status::OK());
+        }
+        release(&rows[i]);
+        continue;
+      }
+      util::Status step_status = RetryStep(
+          &f, [] { return FAULT_POINT("serve/decode_step"); },
+          "decode step");
       if (!step_status.ok()) {
-        // Permanent mid-decode failure: the session's cache state is
-        // suspect, so poison-discard it and restart on the cacheless
-        // fallback instead of failing the request.
-        poisoned = true;
-        entry.reset();
-        break;
+        // Permanent mid-decode failure: this row's KV state is suspect, so
+        // free its slot and restart it on the cacheless fallback thread —
+        // the rest of the batch keeps decoding.
+        session.ReleaseSlot(f.slot);
+        DegradeToFallback(std::move(rows[i]));
+        continue;
       }
-      row = LastRow(entry->session->Decode(next));
+      inputs.push_back(
+          model::BatchedDecodeSession::RowInput{f.slot, {next}});
+      input_flight.push_back(i);
     }
-    if (!poisoned) {
-      entry->session->Rewind(entry->mark);
-      if (cache_.Put(std::move(entry)) > 0) job->trace.Mark("cache_evict");
-    }
-  }
 
-  // --- Degraded path: cacheless full-recompute fallback. ------------------
+    // --- One ragged batched forward for every surviving row. ------------
+    if (!inputs.empty()) {
+      metrics.batch_size->Set(static_cast<double>(inputs.size()));
+      metrics.batch_occupancy->Record(static_cast<double>(inputs.size()) /
+                                      static_cast<double>(session.max_rows()));
+      std::vector<tensor::Tensor> logits = session.Step(inputs);
+      for (size_t j = 0; j < inputs.size(); ++j) {
+        Flight& f = *rows[input_flight[j]];
+        f.next_row = LastRow(logits[j]);
+        if (!f.prefilled) {
+          f.prefilled = true;
+          // Freeze the prompt boundary for the prefix cache before any
+          // decode rows are appended to the slot.
+          auto entry = std::make_shared<PrefixCache::Entry>();
+          entry->prompt = f.prompt_ids;
+          entry->pages = session.Snapshot(f.slot);
+          entry->last_row = f.next_row;
+          f.cache_entry = std::move(entry);
+          int64_t now_us = obs::NowMicros();
+          f.job->trace.Phase("prefill", f.step_begin_us, now_us);
+          f.step_begin_us = now_us;
+        }
+      }
+    }
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const std::unique_ptr<Flight>& f) {
+                                return f == nullptr;
+                              }),
+               rows.end());
+  }
+}
+
+void InferenceServer::FallbackLoop() {
+  tensor::NoGradGuard no_grad;
+  while (true) {
+    std::unique_ptr<Flight> flight;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      fallback_ready_.wait(lock, [&] {
+        return shutdown_started_ || !fallback_queue_.empty();
+      });
+      if (fallback_queue_.empty()) return;  // only reachable on shutdown
+      flight = std::move(fallback_queue_.front());
+      fallback_queue_.pop_front();
+    }
+    RunDegraded(flight.get());
+  }
+}
+
+void InferenceServer::RunDegraded(Flight* f) {
   // Mirrors generation.cc DecodeFullRecompute exactly, so the token stream
   // stays bit-identical to GreedyDecode even with the engine unavailable.
-  if (poisoned) {
-    metrics.degraded->Increment();
-    response.degraded = true;
-    response.prefix_hit = false;
-    job->trace.Mark("degraded");
-    generated.clear();
-    // The delivered stream restarts from scratch, so TTFT and the
-    // inter-token clock restart with it.
-    response.ttft_seconds = 0.0;
-    last_token_us = 0;
-    int64_t step_begin_us = obs::NowMicros();
-    std::vector<int> sequence = prompt_ids;
-    for (size_t step = 0; step < max_new; ++step) {
-      if (shutting_down_.load(std::memory_order_relaxed)) {
-        deliver(util::Status::Cancelled("server shutting down"));
-        return;
-      }
-      if (expired()) {
-        response.tokens = std::move(generated);
-        deliver(util::Status::DeadlineExceeded(
-            "deadline expired after " +
-            std::to_string(response.tokens.size()) +
-            " tokens (degraded path)"));
-        return;
-      }
-      if (sequence.size() >= max_seq) break;
-      tensor::Tensor logits = lm_.Logits(sequence);
-      int next = ArgmaxRow(
-          logits.data() + (logits.dim(0) - 1) * vocab, vocab);
-      if (next == text::kEosId) break;
-      generated.push_back(next);
-      sequence.push_back(next);
-      note_token(generated.size());
-      job->trace.Phase("decode_step", step_begin_us, last_token_us);
-      step_begin_us = last_token_us;
+  const size_t max_seq = lm_.config().max_seq_len;
+  const size_t vocab = lm_.config().vocab_size;
+  int64_t step_begin_us = obs::NowMicros();
+  std::vector<int> sequence = f->prompt_ids;
+  for (size_t step = 0; step < f->max_new; ++step) {
+    if (shutting_down_.load(std::memory_order_relaxed)) {
+      Deliver(f, util::Status::Cancelled("server shutting down"));
+      return;
     }
+    if (Expired(*f)) {
+      f->response.tokens = std::move(f->generated);
+      Deliver(f, util::Status::DeadlineExceeded(
+                     "deadline expired after " +
+                     std::to_string(f->response.tokens.size()) +
+                     " tokens (degraded path)"));
+      return;
+    }
+    if (sequence.size() >= max_seq) break;
+    tensor::Tensor logits = lm_.Logits(sequence);
+    int next =
+        ArgmaxRow(logits.data() + (logits.dim(0) - 1) * vocab, vocab);
+    if (next == text::kEosId) break;
+    f->generated.push_back(next);
+    sequence.push_back(next);
+    NoteToken(f);
+    f->job->trace.Phase("decode_step", step_begin_us, f->last_token_us);
+    step_begin_us = f->last_token_us;
   }
-
-  response.tokens = std::move(generated);
-  util::StatusOr<std::string> text = tokenizer_.Decode(response.tokens);
+  f->response.tokens = std::move(f->generated);
+  util::StatusOr<std::string> text = tokenizer_.Decode(f->response.tokens);
   if (!text.ok()) {
-    deliver(text.status());
+    Deliver(f, text.status());
     return;
   }
-  response.text = std::move(*text);
-  deliver(util::Status::OK());
+  f->response.text = std::move(*text);
+  Deliver(f, util::Status::OK());
 }
 
 }  // namespace infuserki::serve

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "model/batched_session.h"
 #include "model/transformer.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
@@ -20,13 +22,21 @@
 #include "text/tokenizer.h"
 #include "util/fault.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace infuserki::serve {
 
-/// Tuning knobs for InferenceServer (see DESIGN.md §10).
+/// Tuning knobs for InferenceServer (see DESIGN.md §10/§11).
 struct ServeOptions {
-  /// Decode worker threads.
-  size_t num_workers = 2;
+  /// In-flight rows the continuous-batching scheduler decodes together —
+  /// the KV slot-pool size. 1 degenerates to sequential one-request-at-a-
+  /// time decoding (the baseline bench_serve's sweep compares against).
+  size_t max_batch_rows = 4;
+  /// Per-step new-token budget for the ragged batched forward: admission
+  /// of prefills stops once the tokens fed to one step (one per in-flight
+  /// decode row plus each admitted prompt's length) would exceed this. A
+  /// prompt that alone exceeds the budget still runs — solo.
+  size_t max_batch_tokens = 256;
   /// Admission-queue capacity: Submit() on a full queue sheds the request
   /// with kResourceExhausted instead of queueing unbounded work.
   size_t queue_capacity = 16;
@@ -79,28 +89,39 @@ struct Response {
   double ttft_seconds = 0.0;
 };
 
-/// Multi-threaded greedy-decode service over one TransformerLM.
+/// Continuous-batching greedy-decode service over one TransformerLM.
+///
+/// A single scheduler thread owns a BatchedDecodeSession with
+/// `max_batch_rows` KV slots and runs one loop: each iteration it admits
+/// queued requests into free slots (prefills budgeted by
+/// `max_batch_tokens`), picks every in-flight row's next token, retires
+/// rows that finished / missed their deadline / were cancelled — without
+/// stalling the rest — and forwards all surviving rows' new tokens in ONE
+/// ragged batched step. Requests that lose their KV state to a permanent
+/// fault are handed to a dedicated fallback thread for cacheless
+/// full-recompute decoding, so a degraded request never blocks the batch.
 ///
 /// Resilience contract (DESIGN.md §10): a bounded admission queue sheds
 /// load instead of queueing unbounded work; every request carries a
 /// deadline checked at token granularity (expiry returns the partial
-/// decode, never wedges a worker); prefilled prompt prefixes are reused
-/// across requests under an LRU KV-token budget; transient faults on the
-/// tokenize / prefill / decode-step fault points are retried with backoff,
-/// and a permanent mid-decode failure degrades the request to a cacheless
-/// full-recompute path instead of failing it. Served token streams are
-/// bit-exact with single-threaded GreedyDecode on both the cached and the
-/// degraded path.
+/// decode, never wedges the scheduler); prefilled prompt prefixes are
+/// shared across concurrent requests under an LRU KV-token budget;
+/// transient faults on the tokenize / prefill / decode-step fault points
+/// are retried with backoff, and a permanent mid-decode failure degrades
+/// the request to the fallback path instead of failing it. Served token
+/// streams are bit-exact with single-threaded GreedyDecode on both the
+/// batched and the degraded path.
 ///
 /// Submit() is thread-safe. The model and tokenizer must outlive the
-/// server; workers only read them.
+/// server; the scheduler only reads them.
 class InferenceServer {
  public:
   InferenceServer(const model::TransformerLM& lm,
                   const text::Tokenizer& tokenizer,
                   ServeOptions options = {});
 
-  /// Drains the queue (cancelling queued requests) and joins workers.
+  /// Drains the queue (cancelling queued requests) and joins the scheduler
+  /// and fallback threads.
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -115,8 +136,9 @@ class InferenceServer {
   Response Run(Request request);
 
   /// Stops accepting work, cancels queued requests (kUnavailable), lets
-  /// in-flight requests notice cancellation at the next token, and joins
-  /// the workers. Idempotent; also run by the destructor.
+  /// in-flight rows notice cancellation at the next token, and joins the
+  /// scheduler and fallback threads. Idempotent; also run by the
+  /// destructor.
   void Shutdown();
 
   /// Requests currently queued (excludes in-flight ones).
@@ -135,10 +157,69 @@ class InferenceServer {
     // Request-scoped trace handle, allocated at admission; every lifecycle
     // event for this request lands on its async track.
     obs::RequestTrace trace;
+    // Admission work cached across budget deferrals: a job pushed back to
+    // the queue head re-enters admission without re-firing the tokenize
+    // fault point or losing its absorbed-retry count.
+    bool tokenized = false;
+    std::vector<int> prompt_ids;
+    int carried_retries = 0;
   };
 
-  void WorkerLoop();
-  void Process(Job* job);
+  /// One admitted request's in-flight state: its batch slot, decode
+  /// progress, and the response being assembled. Owned by the scheduler
+  /// until retirement (or by the fallback thread after degradation).
+  struct Flight {
+    std::unique_ptr<Job> job;
+    Response response;
+    util::Stopwatch watch;  // processing clock, started at admission
+    std::vector<int> prompt_ids;
+    size_t max_new = 0;
+    std::vector<int> generated;
+    std::vector<float> next_row;  // logits row scoring the next token
+    bool prefilled = false;       // false → prompt not yet forwarded
+    // Prompt-boundary snapshot shared with / destined for the PrefixCache.
+    std::shared_ptr<const PrefixCache::Entry> cache_entry;
+    size_t slot = 0;
+    int64_t step_begin_us = 0;
+    int64_t last_token_us = 0;
+  };
+
+  void SchedulerLoop();
+  void FallbackLoop();
+
+  /// Admits the queue head into `rows`. Returns false when the job was
+  /// deferred (left at the queue head) because its prefill does not fit
+  /// the current step's token budget.
+  bool AdmitOne(std::unique_ptr<Job> job,
+                model::BatchedDecodeSession* session,
+                std::vector<std::unique_ptr<Flight>>* rows,
+                size_t* step_tokens);
+
+  /// Marks `flight` degraded and hands it to the fallback thread for
+  /// cacheless full-recompute decoding.
+  void DegradeToFallback(std::unique_ptr<Flight> flight);
+
+  /// Cacheless full-recompute decode for a degraded request.
+  void RunDegraded(Flight* flight);
+
+  /// Terminal accounting: classifies `status` into the conservation
+  /// counters, records per-outcome latency, closes the request's trace
+  /// track, and resolves the promise.
+  void Deliver(Flight* flight, util::Status status);
+
+  /// TTFT / inter-token bookkeeping for the token just appended.
+  void NoteToken(Flight* flight);
+
+  /// Runs `step` under the request-deadline-bounded retry policy,
+  /// accumulating retry counts into the flight's response.
+  util::Status RetryStep(Flight* flight,
+                         const std::function<util::Status()>& step,
+                         const std::string& what);
+
+  bool Expired(const Flight& flight) const {
+    return flight.job->deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() >= flight.job->deadline;
+  }
 
   const model::TransformerLM& lm_;
   const text::Tokenizer& tokenizer_;
@@ -148,11 +229,14 @@ class InferenceServer {
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
+  std::condition_variable fallback_ready_;
   std::deque<std::unique_ptr<Job>> queue_;
+  std::deque<std::unique_ptr<Flight>> fallback_queue_;
   bool shutdown_started_ = false;
   // Read mid-decode for cooperative cancellation without taking mu_.
   std::atomic<bool> shutting_down_{false};
-  std::vector<std::thread> workers_;
+  std::thread scheduler_;
+  std::thread fallback_;
 };
 
 }  // namespace infuserki::serve

@@ -14,6 +14,16 @@ using internal::TensorImpl;
 
 constexpr size_t kParallelGrain = 8;
 
+// GEMMs below this many multiply-adds run inline: thread-pool dispatch
+// (schedule + wait) costs more than the arithmetic itself. Partitioning
+// only splits output rows across threads — each element's accumulation
+// order is unchanged — so the inline/parallel choice never changes results.
+constexpr size_t kGemmParallelMinWork = 1 << 15;
+
+size_t GemmRowGrain(size_t m, size_t k, size_t n) {
+  return (m * k * n < kGemmParallelMinWork) ? m : kParallelGrain;
+}
+
 /// Op counters for the hot kernels, resolved once per process. Each kernel
 /// call costs two relaxed atomic adds — noise next to the O(m*k*n) work.
 struct OpMetrics {
@@ -71,7 +81,7 @@ BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
 void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
              size_t n) {
   CountGemm(m, k, n);
-  util::ParallelFor(m, kParallelGrain, [&](size_t begin, size_t end) {
+  util::ParallelFor(m, GemmRowGrain(m, k, n), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       float* c_row = c + i * n;
       const float* a_row = a + i * k;
@@ -89,7 +99,7 @@ void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
 void GemmNTAcc(const float* a, const float* b, float* c, size_t m, size_t k,
                size_t n) {
   CountGemm(m, k, n);
-  util::ParallelFor(m, kParallelGrain, [&](size_t begin, size_t end) {
+  util::ParallelFor(m, GemmRowGrain(m, k, n), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const float* a_row = a + i * k;
       float* c_row = c + i * n;
@@ -107,7 +117,8 @@ void GemmNTAcc(const float* a, const float* b, float* c, size_t m, size_t k,
 void GemmTNAcc(const float* a, const float* b, float* c, size_t m, size_t k,
                size_t n) {
   CountGemm(m, k, n);
-  util::ParallelFor(k, kParallelGrain, [&](size_t begin, size_t end) {
+  util::ParallelFor(k, (m * k * n < kGemmParallelMinWork) ? k : kParallelGrain,
+                    [&](size_t begin, size_t end) {
     for (size_t p = begin; p < end; ++p) {
       float* c_row = c + p * n;
       for (size_t i = 0; i < m; ++i) {
@@ -666,6 +677,27 @@ Tensor ConcatRows(const Tensor& a, const Tensor& b) {
       });
 }
 
+Tensor SliceRows(const Tensor& a, size_t start, size_t count) {
+  CHECK_EQ(a.rank(), size_t{2});
+  CHECK_GT(count, size_t{0});
+  CHECK_LE(start + count, a.dim(0));
+  size_t cols = a.dim(1);
+  const float* src = a.data() + start * cols;
+  std::vector<float> out(src, src + count * cols);
+  size_t offset = start * cols;
+  size_t n = count * cols;
+  return Tensor::MakeOpResult(
+      {count, cols}, std::move(out), {a},
+      [a, offset, n](TensorImpl* result) {
+        result->backward_fn = [a, offset, n, result]() {
+          if (!a.requires_grad()) return;
+          const float* g = result->grad.data();
+          float* ag = a.impl()->MutableGrad();
+          for (size_t i = 0; i < n; ++i) ag[offset + i] += g[i];
+        };
+      });
+}
+
 Tensor MeanAll(const Tensor& a) {
   float sum = 0.0f;
   for (float v : a.vec()) sum += v;
@@ -922,6 +954,99 @@ Tensor CausalSelfAttention(const Tensor& q, const Tensor& k, const Tensor& v,
           });
         };
       });
+}
+
+Tensor CausalSelfAttentionRagged(const Tensor& q,
+                                 const std::vector<Tensor>& keys,
+                                 const std::vector<Tensor>& values,
+                                 const std::vector<size_t>& row_lens,
+                                 size_t num_heads) {
+  CHECK(!GradEnabled())
+      << "CausalSelfAttentionRagged is inference-only (no backward)";
+  CHECK_EQ(q.rank(), size_t{2});
+  CHECK_EQ(keys.size(), row_lens.size());
+  CHECK_EQ(values.size(), row_lens.size());
+  size_t d = q.dim(1);
+  CHECK_GT(num_heads, size_t{0});
+  CHECK_EQ(d % num_heads, size_t{0});
+  size_t dh = d / num_heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  std::vector<size_t> row_offsets(row_lens.size());
+  size_t total = 0;
+  for (size_t r = 0; r < row_lens.size(); ++r) {
+    CHECK_GT(row_lens[r], size_t{0});
+    CHECK_EQ(keys[r].dim(1), d);
+    CHECK_EQ(values[r].dim(1), d);
+    CHECK_GE(keys[r].dim(0), row_lens[r])
+        << "key rows must cover the row's new tokens";
+    CHECK_EQ(keys[r].dim(0), values[r].dim(0));
+    row_offsets[r] = total;
+    total += row_lens[r];
+  }
+  CHECK_EQ(q.dim(0), total);
+
+  std::vector<float> out(total * d, 0.0f);
+  const float* qp_all = q.data();
+  auto attend_row = [&](size_t r) {
+    size_t tq = row_lens[r];
+    size_t tk = keys[r].dim(0);
+    size_t prefix_len = tk - tq;
+    Metrics().attention_ops->Increment();
+    Metrics().attention_flops->Increment(4 * tq * tk * d);
+    const float* qp = qp_all + row_offsets[r] * d;
+    const float* kp = keys[r].data();
+    const float* vp = values[r].data();
+    float* op = out.data() + row_offsets[r] * d;
+    // Identical loop structure (and therefore accumulation order) to
+    // CausalSelfAttention: per head, per query row, scan visible keys
+    // ascending, max-shifted softmax, then the weighted value sum.
+    std::vector<float> arow(tk);
+    for (size_t h = 0; h < num_heads; ++h) {
+      size_t off = h * dh;
+      for (size_t i = 0; i < tq; ++i) {
+        size_t limit = prefix_len + i + 1;  // keys visible to query i
+        const float* qrow = qp + i * d + off;
+        float mx = -1e30f;
+        for (size_t j = 0; j < limit; ++j) {
+          const float* krow = kp + j * d + off;
+          float s = 0.0f;
+          for (size_t c = 0; c < dh; ++c) s += qrow[c] * krow[c];
+          s *= scale;
+          arow[j] = s;
+          mx = std::max(mx, s);
+        }
+        float sum = 0.0f;
+        for (size_t j = 0; j < limit; ++j) {
+          arow[j] = std::exp(arow[j] - mx);
+          sum += arow[j];
+        }
+        float inv = 1.0f / sum;
+        for (size_t j = 0; j < limit; ++j) arow[j] *= inv;
+        float* orow = op + i * d + off;
+        for (size_t j = 0; j < limit; ++j) {
+          float a = arow[j];
+          if (a == 0.0f) continue;
+          const float* vrow = vp + j * d + off;
+          for (size_t c = 0; c < dh; ++c) orow[c] += a * vrow[c];
+        }
+      }
+    }
+  };
+  // Small batches run the rows inline: dispatching one pool task per row
+  // costs more than the attention arithmetic itself at toy dims. Rows are
+  // independent (disjoint output blocks), so inline-vs-pool never changes
+  // the per-row accumulation order or the result.
+  size_t total_work = 0;
+  for (size_t r = 0; r < row_lens.size(); ++r) {
+    total_work += 4 * row_lens[r] * keys[r].dim(0) * d;
+  }
+  if (row_lens.size() == 1 || total_work < kGemmParallelMinWork) {
+    for (size_t r = 0; r < row_lens.size(); ++r) attend_row(r);
+  } else {
+    util::ParallelForEach(row_lens.size(), attend_row);
+  }
+  return Tensor::FromData({total, d}, std::move(out));
 }
 
 }  // namespace infuserki::tensor

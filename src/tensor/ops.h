@@ -79,6 +79,12 @@ Tensor Concat1d(const Tensor& a, const Tensor& b);
 /// Concatenates two 2-D tensors along rows (same column count).
 Tensor ConcatRows(const Tensor& a, const Tensor& b);
 
+/// Contiguous row slice of a 2-D tensor: rows [start, start + count) ->
+/// [count, D]. Backward scatter-adds into the sliced rows. This is the
+/// ragged-batch unpacking primitive: a packed [sum_T, D] batch is cut back
+/// into per-row [T_r, D] views for per-row attention.
+Tensor SliceRows(const Tensor& a, size_t start, size_t count);
+
 // -- Reductions ------------------------------------------------------------
 
 /// Mean of all elements -> scalar.
@@ -112,6 +118,22 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets);
 /// `num_heads` must divide D.
 Tensor CausalSelfAttention(const Tensor& q, const Tensor& k, const Tensor& v,
                            size_t num_heads, size_t prefix_len = 0);
+
+/// Ragged batched causal attention (DESIGN.md §11): one kernel call for a
+/// whole batch of independent sequences. `q` packs every row's query chunk
+/// as [sum(row_lens), D]; `keys[r]` / `values[r]` hold row r's FULL key /
+/// value rows (cached prefix followed by the row's new rows, shape
+/// [prefix_r + row_lens[r], D]). Each output row block is computed with
+/// arithmetic identical to CausalSelfAttention(q_r, keys[r], values[r],
+/// num_heads, prefix_r) — same scan order, same softmax — so the packed
+/// result is, row for row, bit-identical to per-sequence kernel calls.
+/// Rows fan out over the global thread pool. Inference-only: requires grad
+/// recording to be off (no backward pass is defined).
+Tensor CausalSelfAttentionRagged(const Tensor& q,
+                                 const std::vector<Tensor>& keys,
+                                 const std::vector<Tensor>& values,
+                                 const std::vector<size_t>& row_lens,
+                                 size_t num_heads);
 
 }  // namespace infuserki::tensor
 

@@ -1,10 +1,12 @@
-// Chaos soak gate for the serving layer (DESIGN.md §10): hundreds of
-// concurrent requests under injected compute + I/O faults, tight
-// deadlines, and an undersized KV budget. The bar: zero crashes, no
-// deadlock (the test finishing is the proof), bounded cache memory, exact
-// status accounting, and bit-exact greedy token streams for every request
-// that completed — including degraded ones. Also run under the `tsan`
-// CMake preset by scripts/check_build.sh and CI.
+// Chaos soak gate for the serving layer (DESIGN.md §10/§11): hundreds of
+// concurrent requests against the continuous-batching scheduler under
+// injected compute + I/O faults, tight deadlines that expire mid-batch,
+// mixed prompt lengths that overflow the step-token budget, and an
+// undersized KV budget. The bar: zero crashes, no deadlock (the test
+// finishing is the proof), bounded cache memory, exact status accounting,
+// multi-row batch occupancy, and bit-exact greedy token streams for every
+// request that completed — including degraded ones. Also run under the
+// `tsan` CMake preset by scripts/check_build.sh and CI.
 
 #include <gtest/gtest.h>
 
@@ -122,7 +124,10 @@ TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
                   .ok());
 
   ServeOptions options;
-  options.num_workers = 6;
+  options.max_batch_rows = 6;
+  // Tight enough that co-admitting two of the longer prompts overflows the
+  // step budget, so the soak also churns through admission deferrals.
+  options.max_batch_tokens = 16;
   options.queue_capacity = 24;
   // Undersized on purpose: room for roughly three of the twelve distinct
   // prompts, so eviction and re-prefill churn constantly.
@@ -211,7 +216,7 @@ TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
     }
   }
 
-  // The flood submitters outnumber queue + workers by an order of
+  // The flood submitters outnumber queue + batch slots by an order of
   // magnitude, so shedding must have triggered; the synchronous
   // submitters guarantee a served population.
   EXPECT_GT(ok, size_t{0});
@@ -232,6 +237,17 @@ TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
                           snapshot.counters.at("serve/failures"));
   EXPECT_EQ(snapshot.counters.at("serve/completed"), ok);
   EXPECT_EQ(snapshot.counters.at("serve/shed"), shed);
+
+  // The continuous-batching scheduler actually batched under load: an
+  // occupancy sample is recorded per ragged step, at least one step ran
+  // more than one row, and no step overfilled the slot pool.
+  const obs::HistogramStats& occupancy =
+      snapshot.histograms.at("serve/batch_occupancy");
+  EXPECT_GT(occupancy.count, uint64_t{0});
+  EXPECT_GT(occupancy.max,
+            1.0 / static_cast<double>(options.max_batch_rows));
+  EXPECT_LE(occupancy.max, 1.0);
+  EXPECT_GE(snapshot.gauges.at("serve/batch_size"), 0.0);
 
   server.Shutdown();
 

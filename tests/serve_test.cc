@@ -91,7 +91,7 @@ text::Tokenizer* ServeFixture::tokenizer_ = nullptr;
 
 TEST_F(ServeFixture, ServesBitExactGreedyDecodeAndReusesPrefix) {
   ServeOptions options;
-  options.num_workers = 2;
+  options.max_batch_rows = 4;
   options.kv_budget_tokens = 256;
   InferenceServer server(*lm_, *tokenizer_, options);
 
@@ -118,7 +118,7 @@ TEST_F(ServeFixture, TransientDecodeFaultIsRetriedBitExact) {
 
   ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.retry = {.max_attempts = 3, .base_delay_ms = 1};
   InferenceServer server(*lm_, *tokenizer_, options);
 
@@ -136,7 +136,7 @@ TEST_F(ServeFixture, PoisonedSessionDegradesToCachelessBitExact) {
 
   ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1+").ok());
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.retry = {.max_attempts = 2, .base_delay_ms = 1};
   InferenceServer server(*lm_, *tokenizer_, options);
 
@@ -156,7 +156,7 @@ TEST_F(ServeFixture, PermanentPrefillFaultDegradesBitExact) {
 
   ASSERT_TRUE(faults.Configure("serve/prefill=fail@1+").ok());
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.retry = {.max_attempts = 2, .base_delay_ms = 1};
   InferenceServer server(*lm_, *tokenizer_, options);
 
@@ -174,7 +174,7 @@ TEST_F(ServeFixture, ShedsWithResourceExhaustedWhenQueueIsFull) {
   // thread, not against real decode speed.
   ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.queue_capacity = 2;
   options.retry = {
       .max_attempts = 2, .base_delay_ms = 500, .multiplier = 1.0};
@@ -212,7 +212,7 @@ TEST_F(ServeFixture, DeadlineExpiredInQueueReturnsDeadlineExceeded) {
   std::string prompt = PromptWithLongReference(2, 4);
   ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.retry = {
       .max_attempts = 2, .base_delay_ms = 300, .multiplier = 1.0};
   InferenceServer server(*lm_, *tokenizer_, options);
@@ -238,7 +238,7 @@ TEST_F(ServeFixture, EvictionKeepsCachedTokensUnderBudget) {
   size_t len_a = tokenizer_->EncodeWithSpecials(prompt_a, false).size();
 
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.kv_budget_tokens = len_a;  // room for exactly one prompt
   InferenceServer server(*lm_, *tokenizer_, options);
 
@@ -259,7 +259,7 @@ TEST_F(ServeFixture, EvictionKeepsCachedTokensUnderBudget) {
 
 TEST_F(ServeFixture, ZeroBudgetDisablesCachingButStillServes) {
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   options.kv_budget_tokens = 0;
   InferenceServer server(*lm_, *tokenizer_, options);
   const std::string prompt = "rho sigma tau";
@@ -275,7 +275,7 @@ TEST_F(ServeFixture, ZeroBudgetDisablesCachingButStillServes) {
 
 TEST_F(ServeFixture, OverlongPromptIsRejectedWithoutKillingTheServer) {
   ServeOptions options;
-  options.num_workers = 1;
+  options.max_batch_rows = 1;
   InferenceServer server(*lm_, *tokenizer_, options);
   std::string overlong;
   for (int i = 0; i < 40; ++i) overlong += "alpha ";  // > max_seq_len ids
@@ -292,7 +292,7 @@ TEST_F(ServeFixture, ShutdownCancelsQueuedAndRejectsNewRequests) {
   ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
   auto server = std::make_unique<InferenceServer>(
       *lm_, *tokenizer_,
-      ServeOptions{.num_workers = 1,
+      ServeOptions{.max_batch_rows = 1,
                    .retry = {.max_attempts = 2,
                              .base_delay_ms = 300,
                              .multiplier = 1.0},
@@ -320,49 +320,147 @@ TEST_F(ServeFixture, ShutdownCancelsQueuedAndRejectsNewRequests) {
   EXPECT_EQ(rejected.status.code(), util::StatusCode::kUnavailable);
 }
 
-TEST(PrefixCacheUnit, TakeRemovesAndPutRestores) {
+// A full batch of distinct prompts decoded concurrently by the scheduler:
+// every response must match its own single-threaded GreedyDecode.
+TEST_F(ServeFixture, ConcurrentBatchServesEveryRequestBitExact) {
+  ServeOptions options;
+  options.max_batch_rows = 4;
+  options.queue_capacity = 32;
+  options.kv_budget_tokens = 256;
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  const std::vector<std::string> prompts = {
+      "alpha beta gamma", "iota kappa",    "sigma tau alpha",
+      "delta epsilon",    "mu nu xi pi",   "theta iota omicron",
+      "beta delta zeta",  "rho sigma"};
+  std::vector<std::future<Response>> futures;
+  futures.reserve(prompts.size());
+  for (const std::string& prompt : prompts) {
+    futures.push_back(server.Submit({prompt, 8}));
+  }
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << prompts[i] << ": "
+                                      << response.status;
+    EXPECT_EQ(response.tokens, Reference(prompts[i], 8)) << prompts[i];
+    EXPECT_FALSE(response.degraded) << prompts[i];
+  }
+}
+
+// A step-token budget too small to co-admit two prompts forces deferrals;
+// deferred requests must still be served, bit-exact, in FIFO order.
+TEST_F(ServeFixture, TightTokenBudgetDefersButServesAll) {
+  ServeOptions options;
+  options.max_batch_rows = 4;
+  options.max_batch_tokens = 6;  // < two prompt lengths combined
+  options.queue_capacity = 32;
+  options.kv_budget_tokens = 0;  // force every admission through prefill
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  const std::vector<std::string> prompts = {
+      "alpha beta gamma", "iota kappa", "sigma tau alpha",
+      "delta epsilon",    "mu nu xi pi", "beta delta zeta"};
+  std::vector<std::future<Response>> futures;
+  for (const std::string& prompt : prompts) {
+    futures.push_back(server.Submit({prompt, 6}));
+  }
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << prompts[i] << ": "
+                                      << response.status;
+    EXPECT_EQ(response.tokens, Reference(prompts[i], 6)) << prompts[i];
+  }
+}
+
+TEST(PrefixCacheUnit, LookupSharesWithoutRemoving) {
   PrefixCache cache(/*budget_tokens=*/16);
-  auto entry = std::make_unique<PrefixCache::Entry>();
+  auto entry = std::make_shared<PrefixCache::Entry>();
   entry->prompt = {1, 5, 6};
-  cache.Put(std::move(entry));
+  EXPECT_EQ(cache.Insert(entry), size_t{0});
   EXPECT_EQ(cache.entries(), size_t{1});
   EXPECT_EQ(cache.cached_tokens(), size_t{3});
 
-  EXPECT_EQ(cache.Take({9, 9}), nullptr);
-  std::unique_ptr<PrefixCache::Entry> taken = cache.Take({1, 5, 6});
-  ASSERT_NE(taken, nullptr);
-  EXPECT_EQ(cache.entries(), size_t{0});
-  EXPECT_EQ(cache.cached_tokens(), size_t{0});
-  EXPECT_EQ(cache.Take({1, 5, 6}), nullptr);  // exclusive ownership
-
-  cache.Put(std::move(taken));
+  EXPECT_EQ(cache.Lookup({9, 9}), nullptr);
+  std::shared_ptr<const PrefixCache::Entry> row_a = cache.Lookup({1, 5, 6});
+  std::shared_ptr<const PrefixCache::Entry> row_b = cache.Lookup({1, 5, 6});
+  ASSERT_NE(row_a, nullptr);
+  EXPECT_EQ(row_a.get(), row_b.get());  // one shared copy, not two
+  // The entry stays resident and is counted once however many rows hold it.
   EXPECT_EQ(cache.entries(), size_t{1});
+  EXPECT_EQ(cache.cached_tokens(), size_t{3});
 }
 
 TEST(PrefixCacheUnit, EvictsLeastRecentlyUsedUnderBudget) {
   PrefixCache cache(/*budget_tokens=*/10);
   auto make = [](std::vector<int> prompt) {
-    auto entry = std::make_unique<PrefixCache::Entry>();
+    auto entry = std::make_shared<PrefixCache::Entry>();
     entry->prompt = std::move(prompt);
     return entry;
   };
-  cache.Put(make({1, 2, 3, 4}));
-  cache.Put(make({5, 6, 7, 8}));
+  cache.Insert(make({1, 2, 3, 4}));
+  cache.Insert(make({5, 6, 7, 8}));
   // Touch {1,2,3,4} so {5,6,7,8} becomes the LRU victim.
-  cache.Put(cache.Take({1, 2, 3, 4}));
-  cache.Put(make({9, 10, 11, 12}));  // 12 tokens > 10: evict LRU
+  cache.Lookup({1, 2, 3, 4});
+  EXPECT_EQ(cache.Insert(make({9, 10, 11, 12})), size_t{1});
   EXPECT_LE(cache.cached_tokens(), size_t{10});
-  EXPECT_EQ(cache.Take({5, 6, 7, 8}), nullptr);
-  EXPECT_NE(cache.Take({1, 2, 3, 4}), nullptr);
+  EXPECT_EQ(cache.Lookup({5, 6, 7, 8}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 2, 3, 4}), nullptr);
 }
 
 TEST(PrefixCacheUnit, OversizedEntryIsDroppedImmediately) {
   PrefixCache cache(/*budget_tokens=*/3);
-  auto entry = std::make_unique<PrefixCache::Entry>();
+  auto entry = std::make_shared<PrefixCache::Entry>();
   entry->prompt = {1, 2, 3, 4, 5};
-  cache.Put(std::move(entry));
+  EXPECT_EQ(cache.Insert(std::move(entry)), size_t{1});
   EXPECT_EQ(cache.entries(), size_t{0});
   EXPECT_EQ(cache.cached_tokens(), size_t{0});
+}
+
+// Regression for batched prefix sharing: when two in-flight batch rows hold
+// the same cached prefix, the pool must count its tokens exactly once,
+// a sharer's re-publication at retirement must not count as an eviction,
+// and evicting the entry while sharers are outstanding must keep both the
+// accounting and the sharers' data intact.
+TEST(PrefixCacheUnit, SharedPrefixEvictionAccountingStaysExact) {
+  PrefixCache cache(/*budget_tokens=*/8);
+  auto make = [](std::vector<int> prompt) {
+    auto entry = std::make_shared<PrefixCache::Entry>();
+    entry->prompt = std::move(prompt);
+    return entry;
+  };
+  ASSERT_EQ(cache.Insert(make({1, 2, 3, 4, 5})), size_t{0});
+
+  // Two batch rows restore from the same snapshot concurrently.
+  std::shared_ptr<const PrefixCache::Entry> row_a =
+      cache.Lookup({1, 2, 3, 4, 5});
+  std::shared_ptr<const PrefixCache::Entry> row_b =
+      cache.Lookup({1, 2, 3, 4, 5});
+  ASSERT_NE(row_a, nullptr);
+  ASSERT_NE(row_b, nullptr);
+  EXPECT_EQ(cache.cached_tokens(), size_t{5});  // counted once, not twice
+
+  // Row A retires and re-publishes its handle: an LRU refresh, not a
+  // second copy — no eviction, no token double-count.
+  EXPECT_EQ(cache.Insert(row_a), size_t{0});
+  EXPECT_EQ(cache.cached_tokens(), size_t{5});
+  EXPECT_EQ(cache.entries(), size_t{1});
+
+  // A 6-token prefix lands while row B is still mid-decode: the shared
+  // entry is evicted (5 + 6 > 8) — exactly one eviction — but row B's
+  // handle keeps the snapshot alive.
+  EXPECT_EQ(cache.Insert(make({10, 11, 12, 13, 14, 15})), size_t{1});
+  EXPECT_EQ(cache.cached_tokens(), size_t{6});
+  EXPECT_EQ(cache.Lookup({1, 2, 3, 4, 5}), nullptr);
+  ASSERT_NE(row_b, nullptr);
+  EXPECT_EQ(row_b->prompt.size(), size_t{5});
+
+  // Row B retires after the eviction: its re-publication is a normal
+  // insert that displaces the newer entry (5 + 6 > 8 again) — the counts
+  // stay exact through the full share → evict → re-publish cycle.
+  EXPECT_EQ(cache.Insert(row_b), size_t{1});
+  EXPECT_EQ(cache.cached_tokens(), size_t{5});
+  EXPECT_EQ(cache.entries(), size_t{1});
+  EXPECT_NE(cache.Lookup({1, 2, 3, 4, 5}), nullptr);
 }
 
 }  // namespace

@@ -24,6 +24,15 @@ they are about *this* repo's conventions:
                 std::random_device, srand/rand, and time()/now() appearing
                 in a seeding context. Every stochastic component takes an
                 explicit util::Rng seed (DESIGN.md §5).
+  arch-file-map  Every `src/...` path ARCHITECTURE.md names must exist on
+                disk, and its layer map must mention every immediate
+                subdirectory of src/ — the doc-drift rule family from the
+                metric table, applied to the architecture overview.
+  batching-metrics  Every `serve/...` / `engine/...` metric literal in the
+                DESIGN.md "Batched decode" section (§11) must also appear
+                in the §6 Observability metric table, so the batching
+                narrative cannot drift from the metric registry. Names that
+                are fault points in code (e.g. `serve/prefill`) are exempt.
 
 Exit status: 0 when the tree is clean, 1 when any violation is found,
 2 on usage errors. Each violation prints as `file:line: [rule] message`.
@@ -174,21 +183,27 @@ def observability_section(design_text):
     return match.group(1) if match else None
 
 
+def metric_documented(name, tokens):
+    """True when `name` appears in the §6 metric-table tokens, either
+    verbatim or as a `prefix/` row plus a leaf entry (globs honoured)."""
+    if name in tokens:
+        return True
+    prefix, _, leaf = name.rpartition("/")
+    if not prefix:
+        return False
+    if prefix + "/" not in tokens:
+        return False
+    return any(
+        tok == leaf or (tok.endswith("*") and fnmatch.fnmatch(leaf, tok))
+        for tok in tokens)
+
+
 def check_metric_names(root, design_text, violations):
     section = observability_section(design_text)
     tokens = set(re.findall(r"`([^`]+)`", section)) if section else set()
 
     def documented(name):
-        if name in tokens:
-            return True
-        prefix, _, leaf = name.rpartition("/")
-        if not prefix:
-            return False
-        if prefix + "/" not in tokens:
-            return False
-        return any(
-            tok == leaf or (tok.endswith("*") and fnmatch.fnmatch(leaf, tok))
-            for tok in tokens)
+        return metric_documented(name, tokens)
 
     for path in iter_code_files(root, ("src", "bench")):
         rel = path.relative_to(root).as_posix()
@@ -252,12 +267,72 @@ def check_rng_determinism(root, violations):
                         f"{why}; take an explicit seed / util::Rng instead"))
 
 
+ARCH_PATH_PATTERN = re.compile(r"`(src/[A-Za-z0-9_./-]+)`")
+
+
+def check_arch_file_map(root, violations):
+    """ARCHITECTURE.md is the navigational contract: every src/ path it
+    backticks must exist, and the layer map must cover every immediate
+    subdirectory of src/. Fixture trees without the doc are exempt (the
+    real tree always carries it)."""
+    arch_path = root / "ARCHITECTURE.md"
+    if not arch_path.is_file():
+        return
+    text = arch_path.read_text()
+    for i, line in enumerate(text.split("\n"), 1):
+        for match in ARCH_PATH_PATTERN.finditer(line):
+            named = match.group(1)
+            if not (root / named.rstrip("/")).exists():
+                violations.append(Violation(
+                    "ARCHITECTURE.md", i, "arch-file-map",
+                    f'path "{named}" does not exist in the tree '
+                    "(stale doc reference; update the file map)"))
+    src = root / "src"
+    if src.is_dir():
+        for sub in sorted(p.name for p in src.iterdir() if p.is_dir()):
+            if f"src/{sub}/" not in text:
+                violations.append(Violation(
+                    "ARCHITECTURE.md", 1, "arch-file-map",
+                    f'layer map omits "src/{sub}/" (every src/ subdirectory '
+                    "must appear in ARCHITECTURE.md)"))
+
+
+BATCHING_SECTION = re.compile(
+    r"^##[^\n]*Batched decode[^\n]*\n(.*?)(?=^## |\Z)",
+    re.MULTILINE | re.DOTALL)
+BATCHING_METRIC_TOKEN = re.compile(r"^(?:serve|engine)/[A-Za-z0-9_]+$")
+
+
+def check_batching_metrics(root, design_text, violations):
+    match = BATCHING_SECTION.search(design_text)
+    if not match:
+        return
+    section = observability_section(design_text)
+    tokens = set(re.findall(r"`([^`]+)`", section)) if section else set()
+    fault_points = set(collect_fault_points(root))
+    first_line = design_text[:match.start(1)].count("\n") + 1
+    for i, line in enumerate(match.group(1).split("\n"), first_line):
+        for token in re.findall(r"`([^`]+)`", line):
+            if not BATCHING_METRIC_TOKEN.match(token):
+                continue
+            if token in fault_points:
+                continue
+            if not metric_documented(token, tokens):
+                violations.append(Violation(
+                    "DESIGN.md", i, "batching-metrics",
+                    f'§11 names metric "{token}" but the §6 metric table '
+                    "does not document it (doc drift between the batching "
+                    "narrative and the registry)"))
+
+
 RULES = {
     "raw-io": lambda root, design, v: check_raw_io(root, v),
     "fault-points": check_fault_points,
     "metric-names": check_metric_names,
     "include-guards": lambda root, design, v: check_include_guards(root, v),
     "rng-determinism": lambda root, design, v: check_rng_determinism(root, v),
+    "arch-file-map": lambda root, design, v: check_arch_file_map(root, v),
+    "batching-metrics": check_batching_metrics,
 }
 
 

@@ -24,6 +24,9 @@ EXPECTED_VIOLATIONS = {
     "metric_undoc": ("metric-names", '"mystery/thing" is missing'),
     "guard_bad": ("include-guards", "INFUSERKI_UTIL_THING_H_"),
     "rng_time": ("rng-determinism", "wall-clock time"),
+    "arch_drift": ("arch-file-map", '"src/util/gone.cc" does not exist'),
+    "batch_metric_drift": (
+        "batching-metrics", '"serve/batch_size" but the §6 metric table'),
 }
 
 
