@@ -246,10 +246,11 @@ cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DINFUSERKI_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j --target \
   race_stress_test threadpool_test kv_cache_test obs_test \
-  obs_exporter_test serve_test serve_chaos_test batched_decode_test
+  obs_exporter_test serve_test serve_chaos_test batched_decode_test \
+  adapter_registry_test
 for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test \
                  obs_exporter_test serve_test serve_chaos_test \
-                 batched_decode_test; do
+                 batched_decode_test adapter_registry_test; do
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$(pwd)/tsan.supp" \
     "$TSAN_DIR/tests/$tsan_test"
 done

@@ -128,4 +128,43 @@ std::vector<Tensor> KnowledgeAdapterStack::InfuserParameters() const {
   return out;
 }
 
+namespace {
+
+/// Fresh detached tensor with `t`'s shape and values (no storage sharing,
+/// no autograd history): the export must stay frozen while training
+/// continues on the stack.
+Tensor DetachedCopy(const Tensor& t) {
+  return Tensor::FromData(t.shape(), t.impl()->data);
+}
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<model::PositionWiseAdapter>>
+KnowledgeAdapterStack::ExportPositionWise() const {
+  if (options_.use_infuser) {
+    return util::Status::FailedPrecondition(
+        "gated (use_infuser) stacks pool Mean(H_P^l) over the whole "
+        "sequence and cannot be exported for position-wise serving; train "
+        "with use_infuser = false (w/o-Ro) for hot-swap publication");
+  }
+  std::vector<model::PositionWiseAdapter::LayerWeights> layers;
+  layers.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const LayerAdapter& slot = slots_[i];
+    model::PositionWiseAdapter::LayerWeights weights;
+    weights.layer = adapted_layers_[i];
+    weights.down_weight = DetachedCopy(slot.down->weight());
+    weights.down_bias = DetachedCopy(slot.down->bias());
+    weights.up_weight = DetachedCopy(slot.up->weight());
+    weights.up_bias = DetachedCopy(slot.up->bias());
+    layers.push_back(std::move(weights));
+  }
+  model::AdapterAttachment attachment =
+      options_.placement == AdapterPlacement::kFfn
+          ? model::AdapterAttachment::kFfn
+          : model::AdapterAttachment::kAttention;
+  return std::make_shared<model::PositionWiseAdapter>(
+      model_dim_, options_.bottleneck, attachment, std::move(layers));
+}
+
 }  // namespace infuserki::core

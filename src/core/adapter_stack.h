@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "model/hooks.h"
+#include "model/serve_adapter.h"
 #include "tensor/nn.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace infuserki::core {
 
@@ -98,6 +100,16 @@ class KnowledgeAdapterStack : public model::FfnHook,
 
   /// Parameters of the Infuser MLPs only.
   std::vector<tensor::Tensor> InfuserParameters() const;
+
+  /// Deep-copies the adapter weights into an immutable
+  /// model::PositionWiseAdapter for publication into a live server
+  /// (DESIGN.md §12). Only the ungated (use_infuser = false, w/o-Ro) form
+  /// is position-wise; exporting a gated stack returns kFailedPrecondition
+  /// because its Mean(H_P^l) pooling cannot take the KV-cached or batched
+  /// serving paths. The export shares no storage with the stack, so
+  /// training may continue while the snapshot serves.
+  util::StatusOr<std::shared_ptr<model::PositionWiseAdapter>>
+  ExportPositionWise() const;
 
   const AdapterStackOptions& options() const { return options_; }
 

@@ -113,20 +113,45 @@ std::vector<tensor::Tensor> BatchedDecodeSession::Step(
   BatchedMetrics& metrics = Metrics();
   util::Stopwatch watch;
   tensor::NoGradGuard no_grad;
-  std::vector<TransformerLM::BatchRow> batch;
-  batch.reserve(rows.size());
   for (const RowInput& row : rows) {
     CHECK_LT(row.slot, in_use_.size());
     CHECK(in_use_[row.slot]) << "Step row uses unacquired slot " << row.slot;
-    batch.push_back(TransformerLM::BatchRow{&row.tokens, row.slot});
   }
-  tensor::Tensor packed = lm_.LogitsBatched(batch, &cache_);
-  std::vector<tensor::Tensor> per_row;
-  per_row.reserve(rows.size());
-  size_t offset = 0;
+  // Partition rows by pinned adapter version (first-appearance order): the
+  // packed forward applies one adapter to every row, so rows pinned to
+  // different versions must run in separate forwards to stay bit-exact for
+  // their own version. The common cases — no adapters, or everyone on the
+  // current version — collapse to the single packed forward of before.
+  std::vector<const PositionWiseAdapter*> group_adapters;
+  std::vector<std::vector<size_t>> group_rows;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    size_t g = 0;
+    while (g < group_adapters.size() && group_adapters[g] != rows[r].adapter) {
+      ++g;
+    }
+    if (g == group_adapters.size()) {
+      group_adapters.push_back(rows[r].adapter);
+      group_rows.emplace_back();
+    }
+    group_rows[g].push_back(r);
+  }
+  std::vector<tensor::Tensor> per_row(rows.size());
+  for (size_t g = 0; g < group_adapters.size(); ++g) {
+    std::vector<TransformerLM::BatchRow> batch;
+    batch.reserve(group_rows[g].size());
+    for (size_t r : group_rows[g]) {
+      batch.push_back(TransformerLM::BatchRow{&rows[r].tokens, rows[r].slot});
+    }
+    tensor::Tensor packed =
+        lm_.LogitsBatched(batch, &cache_, group_adapters[g]);
+    size_t offset = 0;
+    for (size_t r : group_rows[g]) {
+      per_row[r] =
+          tensor::SliceRows(packed, offset, rows[r].tokens.size());
+      offset += rows[r].tokens.size();
+    }
+  }
   for (const RowInput& row : rows) {
-    per_row.push_back(tensor::SliceRows(packed, offset, row.tokens.size()));
-    offset += row.tokens.size();
     if (row.tokens.size() == 1) {
       metrics.decode_tokens->Increment();
     } else {

@@ -70,15 +70,24 @@ class BatchedDecodeSession {
   /// Step row on it continues from position snapshot.tokens.
   void Restore(size_t slot, const SlotSnapshot& snapshot);
 
-  /// One participating row of a batched step.
+  /// One participating row of a batched step. `adapter` pins the adapter
+  /// version the row was admitted under (nullptr = base model); it must
+  /// stay the same for every Step of that row's lifetime so the decoded
+  /// stream is bit-exact for ONE version (the swap protocol's epoch
+  /// pinning, DESIGN.md §12). Not owned; the serving layer keeps the
+  /// version alive via its shared_ptr pin for as long as the row flies.
   struct RowInput {
     size_t slot = 0;
     std::vector<int> tokens;  // new tokens for this row (>= 1)
+    const PositionWiseAdapter* adapter = nullptr;
   };
 
-  /// Runs all rows' new tokens in one ragged batched forward and returns
+  /// Runs all rows' new tokens in ragged batched forwards and returns
   /// per-row logits [T_r, V], in `rows` order. Rows must use distinct,
-  /// acquired slots.
+  /// acquired slots. Rows sharing an adapter version run in ONE packed
+  /// forward; a step mixing versions runs one forward per distinct version
+  /// (first-appearance order), so a hot swap costs at most one extra
+  /// forward per step while both generations are in flight.
   std::vector<tensor::Tensor> Step(const std::vector<RowInput>& rows);
 
  private:

@@ -1,0 +1,88 @@
+#include "model/serve_adapter.h"
+
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace infuserki::model {
+
+using tensor::Tensor;
+
+PositionWiseAdapter::PositionWiseAdapter(size_t model_dim, size_t bottleneck,
+                                         AdapterAttachment attachment,
+                                         std::vector<LayerWeights> layers)
+    : model_dim_(model_dim),
+      bottleneck_(bottleneck),
+      attachment_(attachment),
+      layers_(std::move(layers)) {
+  CHECK_GT(model_dim_, size_t{0});
+  CHECK_GT(bottleneck_, size_t{0});
+  int max_layer = -1;
+  for (const LayerWeights& slot : layers_) {
+    CHECK_GT(slot.layer, max_layer) << "layers must be strictly ascending";
+    max_layer = slot.layer;
+    CHECK_EQ(slot.down_weight.dim(0), bottleneck_);
+    CHECK_EQ(slot.down_weight.dim(1), model_dim_);
+    CHECK_EQ(slot.down_bias.dim(0), bottleneck_);
+    CHECK_EQ(slot.up_weight.dim(0), model_dim_);
+    CHECK_EQ(slot.up_weight.dim(1), bottleneck_);
+    CHECK_EQ(slot.up_bias.dim(0), model_dim_);
+  }
+  layer_to_slot_.assign(static_cast<size_t>(max_layer) + 1, -1);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layer_to_slot_[static_cast<size_t>(layers_[i].layer)] =
+        static_cast<int>(i);
+  }
+}
+
+bool PositionWiseAdapter::IsAdapted(int layer) const {
+  return layer >= 0 && static_cast<size_t>(layer) < layer_to_slot_.size() &&
+         layer_to_slot_[static_cast<size_t>(layer)] >= 0;
+}
+
+Tensor PositionWiseAdapter::Delta(int layer, const Tensor& sublayer_input,
+                                  ChainState* state) const {
+  CHECK(state != nullptr);
+  if (!IsAdapted(layer)) return Tensor();
+  const LayerWeights& slot =
+      layers_[static_cast<size_t>(layer_to_slot_[static_cast<size_t>(layer)])];
+  Tensor combined = state->chain.defined()
+                        ? tensor::Add(sublayer_input, state->chain)
+                        : sublayer_input;
+  Tensor hidden = tensor::Relu(tensor::Add(
+      tensor::MatmulNT(combined, slot.down_weight), slot.down_bias));
+  state->chain =
+      tensor::Add(tensor::MatmulNT(hidden, slot.up_weight), slot.up_bias);
+  return state->chain;
+}
+
+Tensor PositionWiseAdapterHook::FfnDelta(int layer, const Tensor& ffn_input) {
+  if (adapter_ == nullptr ||
+      adapter_->attachment() != AdapterAttachment::kFfn) {
+    return Tensor();
+  }
+  return adapter_->Delta(layer, ffn_input, &state_);
+}
+
+Tensor PositionWiseAdapterHook::AttnDelta(int layer,
+                                          const Tensor& attn_input) {
+  if (adapter_ == nullptr ||
+      adapter_->attachment() != AdapterAttachment::kAttention) {
+    return Tensor();
+  }
+  return adapter_->Delta(layer, attn_input, &state_);
+}
+
+ForwardOptions PositionWiseAdapterHook::Options() {
+  ForwardOptions options;
+  if (adapter_ == nullptr) return options;
+  if (adapter_->attachment() == AdapterAttachment::kFfn) {
+    options.ffn_hook = this;
+  } else {
+    options.attn_hook = this;
+  }
+  return options;
+}
+
+}  // namespace infuserki::model

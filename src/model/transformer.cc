@@ -89,8 +89,12 @@ Tensor TransformerLayer::Forward(const Tensor& x, int layer_index,
 
 Tensor TransformerLayer::ForwardBatched(
     const Tensor& x, const std::vector<size_t>& row_lens,
-    const std::vector<LayerKv*>& row_kv) const {
+    const std::vector<LayerKv*>& row_kv, int layer_index,
+    const PositionWiseAdapter* adapter,
+    PositionWiseAdapter::ChainState* chain) const {
   CHECK_EQ(row_lens.size(), row_kv.size());
+  CHECK(adapter == nullptr || chain != nullptr)
+      << "batched adapter forwards need a caller-owned chain state";
   // Attention sublayer. The norm and the Q/K/V projections are
   // position-wise, so running them on the packed batch produces — row for
   // row — the same values as running each sequence alone.
@@ -130,6 +134,11 @@ Tensor TransformerLayer::ForwardBatched(
   Tensor attn =
       tensor::CausalSelfAttentionRagged(q, keys, values, row_lens, num_heads_);
   Tensor attn_out = wo_.Forward(attn);
+  if (adapter != nullptr &&
+      adapter->attachment() == AdapterAttachment::kAttention) {
+    Tensor delta = adapter->Delta(layer_index, attn_in, chain);
+    if (delta.defined()) attn_out = tensor::Add(attn_out, delta);
+  }
   Tensor h = tensor::Add(x, attn_out);
 
   // FFN sublayer (SwiGLU) — position-wise, packed.
@@ -137,6 +146,10 @@ Tensor TransformerLayer::ForwardBatched(
   Tensor gate = tensor::Silu(ffn_gate_.Forward(ffn_in));
   Tensor up = ffn_up_.Forward(ffn_in);
   Tensor ffn_out = ffn_down_.Forward(tensor::Mul(gate, up));
+  if (adapter != nullptr && adapter->attachment() == AdapterAttachment::kFfn) {
+    Tensor delta = adapter->Delta(layer_index, ffn_in, chain);
+    if (delta.defined()) ffn_out = tensor::Add(ffn_out, delta);
+  }
   return tensor::Add(h, ffn_out);
 }
 
@@ -227,9 +240,12 @@ Tensor TransformerLM::LogitsIncremental(const std::vector<int>& tokens,
 }
 
 Tensor TransformerLM::HiddenBatched(const std::vector<BatchRow>& rows,
-                                    KvCache* cache) const {
+                                    KvCache* cache,
+                                    const PositionWiseAdapter* adapter) const {
   CHECK(cache != nullptr);
   CHECK(!rows.empty());
+  CHECK(adapter == nullptr || adapter->model_dim() == config_.dim)
+      << "adapter model_dim does not match this model";
   CHECK(!tensor::GradEnabled())
       << "the batched path is inference-only (run under NoGradGuard)";
   CHECK_EQ(cache->num_layers(), layers_.size());
@@ -260,11 +276,16 @@ Tensor TransformerLM::HiddenBatched(const std::vector<BatchRow>& rows,
   Tensor x = tensor::Add(token_emb_.Forward(packed_tokens),
                          pos_emb_.Forward(packed_positions));
   std::vector<LayerKv*> row_kv(rows.size());
+  // One chain state spans all layers of this forward (the adapter chain is
+  // row-wise over the packed batch, so a single [sum_T, D] chain tensor is
+  // exactly the per-row chains stacked in batch order).
+  PositionWiseAdapter::ChainState chain;
   for (size_t l = 0; l < layers_.size(); ++l) {
     for (size_t r = 0; r < rows.size(); ++r) {
       row_kv[r] = cache->layer(l, rows[r].slot);
     }
-    x = layers_[l]->ForwardBatched(x, row_lens, row_kv);
+    x = layers_[l]->ForwardBatched(x, row_lens, row_kv, static_cast<int>(l),
+                                   adapter, &chain);
   }
   for (const BatchRow& row : rows) {
     cache->AdvanceTokens(row.tokens->size(), row.slot);
@@ -273,8 +294,9 @@ Tensor TransformerLM::HiddenBatched(const std::vector<BatchRow>& rows,
 }
 
 Tensor TransformerLM::LogitsBatched(const std::vector<BatchRow>& rows,
-                                    KvCache* cache) const {
-  Tensor h = HiddenBatched(rows, cache);
+                                    KvCache* cache,
+                                    const PositionWiseAdapter* adapter) const {
+  Tensor h = HiddenBatched(rows, cache, adapter);
   return tensor::MatmulNT(h, token_emb_.table());
 }
 

@@ -7,6 +7,7 @@
 #include "model/config.h"
 #include "model/hooks.h"
 #include "model/kv_cache.h"
+#include "model/serve_adapter.h"
 #include "tensor/nn.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -42,9 +43,18 @@ class TransformerLayer : public tensor::Module {
   /// against `row_kv[r]`, that row's cached K/V page (new rows appended,
   /// exactly as the single-sequence cached path). Bit-exact per row with
   /// Forward; no hook / prefix-tuning / trace support (serving path).
-  tensor::Tensor ForwardBatched(const tensor::Tensor& x,
-                                const std::vector<size_t>& row_lens,
-                                const std::vector<LayerKv*>& row_kv) const;
+  ///
+  /// An optional PositionWiseAdapter applies its delta to the packed
+  /// sublayer input (attachment selects attention vs FFN) with `chain`
+  /// carrying the cross-layer adapter state — every adapter op is
+  /// row-wise, so the packed delta stays bit-exact per row with the
+  /// hook-driven single-sequence pass. `layer_index` is only consulted by
+  /// the adapter; pass anything when `adapter == nullptr`.
+  tensor::Tensor ForwardBatched(
+      const tensor::Tensor& x, const std::vector<size_t>& row_lens,
+      const std::vector<LayerKv*>& row_kv, int layer_index = -1,
+      const PositionWiseAdapter* adapter = nullptr,
+      PositionWiseAdapter::ChainState* chain = nullptr) const;
 
   tensor::Linear& wq() { return wq_; }
   tensor::Linear& wk() { return wk_; }
@@ -113,13 +123,21 @@ class TransformerLM : public tensor::Module {
   /// tensor::SliceRows). Each output row is bit-exact with the
   /// single-sequence HiddenIncremental of that row alone (DESIGN.md §11).
   /// Inference-only; call under NoGradGuard. Slots must be distinct; hooks,
-  /// prefix tuning and tracing are not supported on this path.
+  /// prefix tuning and tracing are not supported on this path — the one
+  /// batched-safe extension point is an optional PositionWiseAdapter,
+  /// applied identically to EVERY row of the batch (rows pinned to
+  /// different adapter versions must go in separate calls; the scheduler
+  /// partitions by version, DESIGN.md §12).
   tensor::Tensor HiddenBatched(const std::vector<BatchRow>& rows,
-                               KvCache* cache) const;
+                               KvCache* cache,
+                               const PositionWiseAdapter* adapter =
+                                   nullptr) const;
 
   /// HiddenBatched through the tied output head -> [sum_T, V].
   tensor::Tensor LogitsBatched(const std::vector<BatchRow>& rows,
-                               KvCache* cache) const;
+                               KvCache* cache,
+                               const PositionWiseAdapter* adapter =
+                                   nullptr) const;
 
   /// Mean next-token cross entropy over positions >= loss_start (0 = whole
   /// sequence). Position t predicts tokens[t + 1]; with loss_start = p only

@@ -1,0 +1,88 @@
+#ifndef INFUSERKI_SERVE_ADAPTER_REGISTRY_H_
+#define INFUSERKI_SERVE_ADAPTER_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/serve_adapter.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace infuserki::serve {
+
+/// One published adapter-set version. `sequence` is the registry's
+/// monotonically increasing version number and doubles as the PrefixCache
+/// generation tag (0 is reserved for the base model, so an
+/// AdapterVersion{} default — no adapter — means "serve the base").
+struct AdapterVersion {
+  uint64_t sequence = 0;
+  std::string path;  // checkpoint file the version was loaded from
+  std::shared_ptr<const model::PositionWiseAdapter> adapter;
+};
+
+/// Versioned on-disk registry of position-wise adapter checkpoints — the
+/// knowledge artifact lifecycle behind zero-downtime integration
+/// (DESIGN.md §12).
+///
+/// Layout: one `adapter_<seq>.bin` per published version in `dir`,
+/// CRC32-framed (serialize format v2) and published atomically
+/// (tmp -> fsync -> rename), so a crash mid-publish never leaves a
+/// half-written version and readers never race a writer.
+///
+/// Rollback state machine: LoadLatest() walks the versions newest-first.
+/// Each candidate load runs under the `serve/adapter_load` fault point
+/// with retry (transient kInternal failures back off and re-attempt); a
+/// candidate that still fails — corrupt frame, bad payload, or exhausted
+/// retries — is quarantined to `<file>.corrupt` and the walk rolls back to
+/// the next older version, counting `serve/swap_rollbacks`. A corrupt
+/// checkpoint therefore never reaches the serving path, and the newest
+/// GOOD version always wins. Only when every version fails does LoadLatest
+/// return an error (callers keep serving whatever version they already
+/// hold).
+///
+/// Thread-compatible: publishers and loaders are expected to run on one
+/// control thread (the serving scheduler never touches the registry).
+class AdapterRegistry {
+ public:
+  /// `retry` bounds the per-candidate load retry loop.
+  explicit AdapterRegistry(std::string dir, util::RetryOptions retry = {});
+
+  const std::string& dir() const { return dir_; }
+
+  /// Serializes `adapter` as the next version (max existing sequence + 1)
+  /// and publishes it atomically. The returned version carries `adapter`
+  /// itself — publishers may swap it in directly without a read-back,
+  /// though loading it back is the bit-exactness check the tests use.
+  util::StatusOr<AdapterVersion> Publish(
+      std::shared_ptr<const model::PositionWiseAdapter> adapter);
+
+  /// Loads the newest version that passes frame + payload validation,
+  /// quarantining and rolling past any that do not (see class comment).
+  util::StatusOr<AdapterVersion> LoadLatest();
+
+  /// Loads one specific version (same fault point, retry, and quarantine
+  /// treatment as LoadLatest, but no rollback to older versions).
+  util::StatusOr<AdapterVersion> Load(uint64_t sequence);
+
+  /// Published (non-quarantined) sequences, ascending. Empty on a missing
+  /// or empty directory.
+  std::vector<uint64_t> ListSequences() const;
+
+  /// Checkpoint path for `sequence` under this registry's directory.
+  std::string VersionPath(uint64_t sequence) const;
+
+ private:
+  /// One guarded load attempt loop for `path`; no quarantine.
+  util::StatusOr<AdapterVersion> LoadAttempt(uint64_t sequence,
+                                             const std::string& path);
+
+  std::string dir_;
+  util::RetryOptions retry_;
+};
+
+}  // namespace infuserki::serve
+
+#endif  // INFUSERKI_SERVE_ADAPTER_REGISTRY_H_

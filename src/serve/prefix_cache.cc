@@ -32,9 +32,9 @@ PrefixCache::PrefixCache(size_t budget_tokens)
     : budget_tokens_(budget_tokens) {}
 
 std::shared_ptr<const PrefixCache::Entry> PrefixCache::Lookup(
-    const std::vector<int>& prompt) {
+    const std::vector<int>& prompt, uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = slots_.find(prompt);
+  auto it = slots_.find(Key(generation, prompt));
   if (it == slots_.end()) return nullptr;
   it->second.last_use = ++tick_;
   return it->second.entry;
@@ -43,7 +43,15 @@ std::shared_ptr<const PrefixCache::Entry> PrefixCache::Lookup(
 size_t PrefixCache::Insert(std::shared_ptr<const Entry> entry) {
   if (entry == nullptr) return 0;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = slots_.find(entry->prompt);
+  if (entry->generation != 0 && entry->generation != active_generation_) {
+    // A row admitted under a since-replaced adapter version is parking its
+    // prefix after the swap already invalidated that generation. Readmitting
+    // it would resurrect K/V pages no future lookup may use (lookups carry
+    // the active generation), so the entry is dropped on the floor. Not an
+    // eviction: it never entered the pool.
+    return 0;
+  }
+  auto it = slots_.find(Key(entry->generation, entry->prompt));
   if (it != slots_.end()) {
     // The prompt is already resident (e.g. two batch rows prefilled it
     // concurrently, or a prefix-hit row is re-publishing at retirement).
@@ -54,7 +62,7 @@ size_t PrefixCache::Insert(std::shared_ptr<const Entry> entry) {
     return 0;
   }
   size_t tokens = entry->prompt.size();
-  std::vector<int> key = entry->prompt;
+  Key key(entry->generation, entry->prompt);
   Slot slot;
   slot.entry = std::move(entry);
   slot.last_use = ++tick_;
@@ -65,11 +73,43 @@ size_t PrefixCache::Insert(std::shared_ptr<const Entry> entry) {
   return evicted;
 }
 
-void PrefixCache::Clear() {
+size_t PrefixCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = slots_.size();
   slots_.clear();
   cached_tokens_ = 0;
+  if (dropped > 0) Metrics().evictions->Increment(dropped);
   PublishLocked();
+  return dropped;
+}
+
+size_t PrefixCache::InvalidateGeneration(uint64_t gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.first == gen) {
+      cached_tokens_ -= it->second.entry->prompt.size();
+      it = slots_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    Metrics().evictions->Increment(dropped);
+    PublishLocked();
+  }
+  return dropped;
+}
+
+void PrefixCache::SetActiveGeneration(uint64_t gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_generation_ = gen;
+}
+
+uint64_t PrefixCache::active_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_generation_;
 }
 
 size_t PrefixCache::cached_tokens() const {

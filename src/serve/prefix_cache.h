@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "model/batched_session.h"
@@ -13,7 +14,8 @@
 namespace infuserki::serve {
 
 /// LRU pool of prefilled prompt prefixes, keyed by exact prompt token ids
-/// and bounded by a KV-token budget.
+/// plus the adapter generation that prefilled them, bounded by a KV-token
+/// budget.
 ///
 /// A cached entry holds an immutable snapshot of the per-layer K/V pages at
 /// the prompt boundary (see BatchedDecodeSession::SlotSnapshot), plus a
@@ -36,6 +38,16 @@ namespace infuserki::serve {
 /// already resident only refreshes its LRU stamp (no eviction, no
 /// double-count). Evictions and occupancy are published through the
 /// `serve/` metrics (DESIGN.md §6).
+///
+/// Generation tags (DESIGN.md §12): an entry prefilled under adapter
+/// version g carries generation = g (0 = base model, no adapter); its K/V
+/// pages embed that version's deltas, so it is only valid for rows pinned
+/// to the same version. A hot swap calls SetActiveGeneration(new) then
+/// InvalidateGeneration(old), which drops exactly the replaced version's
+/// prefixes — base-model entries survive every swap. Entries parked by
+/// still-flying rows of a replaced generation are rejected at Insert (the
+/// cache never readmits a stale generation), without counting as
+/// evictions.
 class PrefixCache {
  public:
   /// One reusable prefilled prefix. Immutable once published.
@@ -43,6 +55,7 @@ class PrefixCache {
     std::vector<int> prompt;
     model::BatchedDecodeSession::SlotSnapshot pages;  // the prompt boundary
     std::vector<float> last_row;  // logits row scoring the next token
+    uint64_t generation = 0;      // adapter version at prefill (0 = base)
   };
 
   /// `budget_tokens` caps the sum of cached prompt lengths; 0 disables
@@ -52,21 +65,38 @@ class PrefixCache {
   PrefixCache(const PrefixCache&) = delete;
   PrefixCache& operator=(const PrefixCache&) = delete;
 
-  /// Returns a shared handle to the entry for `prompt` (refreshing its LRU
-  /// stamp), or null on a miss. The entry stays resident and available to
-  /// other callers.
-  std::shared_ptr<const Entry> Lookup(const std::vector<int>& prompt);
+  /// Returns a shared handle to the entry for `prompt` under adapter
+  /// generation `generation` (refreshing its LRU stamp), or null on a
+  /// miss. The entry stays resident and available to other callers.
+  std::shared_ptr<const Entry> Lookup(const std::vector<int>& prompt,
+                                      uint64_t generation = 0);
 
   /// Publishes an entry, then enforces the budget by LRU eviction. If the
-  /// same prompt is already resident its LRU stamp is refreshed and the
-  /// incoming handle is simply not stored (the sharers' copy wins; no
-  /// eviction counted). Null entries are ignored. Returns the number of
-  /// entries evicted by this call, so callers can attribute evictions to
-  /// the request that triggered them.
+  /// same (generation, prompt) is already resident its LRU stamp is
+  /// refreshed and the incoming handle is simply not stored (the sharers'
+  /// copy wins; no eviction counted). Entries from a non-base generation
+  /// other than the active one are dropped without being stored (stale
+  /// parks from rows that flew across a swap; not counted as evictions).
+  /// Null entries are ignored. Returns the number of entries evicted by
+  /// this call, so callers can attribute evictions to the request that
+  /// triggered them.
   size_t Insert(std::shared_ptr<const Entry> entry);
 
-  /// Drops every cached entry (keeps the budget).
-  void Clear();
+  /// Drops every cached entry (keeps the budget). Returns the exact number
+  /// of entries dropped; each counts toward `serve/evictions`.
+  size_t Clear();
+
+  /// Drops every entry of adapter generation `gen` (a swap retiring that
+  /// version; callers skip gen 0 so base prefixes survive). Returns the
+  /// exact number dropped; each counts toward `serve/evictions`. In-flight
+  /// sharers keep their handles alive — invalidation only removes the
+  /// pool's reference.
+  size_t InvalidateGeneration(uint64_t gen);
+
+  /// The adapter generation new inserts are admitted under. Set by the
+  /// swap path BEFORE invalidating the outgoing generation.
+  void SetActiveGeneration(uint64_t gen);
+  uint64_t active_generation() const;
 
   size_t cached_tokens() const;
   size_t entries() const;
@@ -77,6 +107,7 @@ class PrefixCache {
     std::shared_ptr<const Entry> entry;
     uint64_t last_use = 0;
   };
+  using Key = std::pair<uint64_t, std::vector<int>>;  // (generation, prompt)
 
   /// Evicts LRU slots until `cached_tokens_` fits the budget; returns the
   /// eviction count. Requires `mu_` held.
@@ -88,7 +119,8 @@ class PrefixCache {
   mutable std::mutex mu_;
   uint64_t tick_ = 0;
   size_t cached_tokens_ = 0;
-  std::map<std::vector<int>, Slot> slots_;
+  uint64_t active_generation_ = 0;
+  std::map<Key, Slot> slots_;
 };
 
 }  // namespace infuserki::serve

@@ -26,6 +26,9 @@ struct ServeMetrics {
   obs::Counter* prefix_hits;
   obs::Counter* prefix_misses;
   obs::Counter* cancelled;
+  obs::Counter* swap_applied;
+  obs::Counter* swap_prefix_invalidations;
+  obs::Gauge* swap_active_sequence;
   obs::Gauge* queue_depth;
   obs::Gauge* queue_depth_max;
   obs::Gauge* batch_size;
@@ -58,6 +61,9 @@ ServeMetrics& Metrics() {
         registry.GetCounter("serve/prefix_hits"),
         registry.GetCounter("serve/prefix_misses"),
         registry.GetCounter("serve/cancelled"),
+        registry.GetCounter("serve/swap_applied"),
+        registry.GetCounter("serve/swap_prefix_invalidations"),
+        registry.GetGauge("serve/swap_active_sequence"),
         registry.GetGauge("serve/queue_depth"),
         registry.GetGauge("serve/queue_depth_max"),
         registry.GetGauge("serve/batch_size"),
@@ -181,9 +187,17 @@ void InferenceServer::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!shutdown_started_) {
       shutdown_started_ = true;
-      shutting_down_.store(true, std::memory_order_relaxed);
-      orphaned.swap(queue_);
-      Metrics().queue_depth->Set(0.0);
+      if (options_.drain_deadline.count() > 0) {
+        // Graceful drain: leave the queue alone — the scheduler keeps
+        // admitting and decoding until queue and batch are empty or the
+        // drain deadline passes (HardCancel() latches the hard stop).
+        drain_until_ = Clock::now() + options_.drain_deadline;
+        draining_.store(true, std::memory_order_release);
+      } else {
+        shutting_down_.store(true, std::memory_order_relaxed);
+        orphaned.swap(queue_);
+        Metrics().queue_depth->Set(0.0);
+      }
     }
   }
   work_ready_.notify_all();
@@ -199,13 +213,68 @@ void InferenceServer::Shutdown() {
     job->promise.set_value(std::move(response));
   }
   if (scheduler_.joinable()) scheduler_.join();
-  // The scheduler may have handed degraded rows to the fallback thread on
-  // its way out; wake it again so it drains them before exiting.
+  {
+    // The scheduler may have handed degraded rows to the fallback thread
+    // on its way out; only now that it is joined can the fallback thread
+    // safely exit on an empty queue (see scheduler_done_).
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduler_done_ = true;
+  }
   fallback_ready_.notify_all();
   if (fallback_.joinable()) fallback_.join();
   // After the last request resolved: one final flush so short-lived
   // servers still leave a complete record, then the thread stops.
   if (exporter_ != nullptr) exporter_->Stop();
+}
+
+bool InferenceServer::HardCancel() {
+  if (shutting_down_.load(std::memory_order_relaxed)) return true;
+  if (draining_.load(std::memory_order_acquire) &&
+      Clock::now() >= drain_until_) {
+    // Drain budget exhausted: latch the hard stop so every thread (and
+    // every subsequent HardCancel check) converges on cancellation.
+    shutting_down_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void InferenceServer::SwapAdapters(AdapterVersion version) {
+  std::shared_ptr<const AdapterVersion> next;
+  if (version.adapter != nullptr) {
+    next = std::make_shared<const AdapterVersion>(std::move(version));
+  }
+  uint64_t new_sequence = next != nullptr ? next->sequence : 0;
+  uint64_t old_sequence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_sequence = active_version_ != nullptr ? active_version_->sequence : 0;
+    active_version_ = std::move(next);
+  }
+  ServeMetrics& metrics = Metrics();
+  metrics.swap_applied->Increment();
+  metrics.swap_active_sequence->Set(static_cast<double>(new_sequence));
+  // Admissions must see the new generation before the replaced one's
+  // prefixes vanish, so a concurrent lookup can never resurrect the old
+  // version's K/V pages under the new generation.
+  cache_.SetActiveGeneration(new_sequence);
+  if (old_sequence != 0 && old_sequence != new_sequence) {
+    size_t invalidated = cache_.InvalidateGeneration(old_sequence);
+    if (invalidated > 0) {
+      metrics.swap_prefix_invalidations->Increment(invalidated);
+    }
+  }
+}
+
+uint64_t InferenceServer::active_adapter_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_version_ != nullptr ? active_version_->sequence : 0;
+}
+
+std::shared_ptr<const AdapterVersion> InferenceServer::CurrentVersion()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_version_;
 }
 
 size_t InferenceServer::queue_depth() const {
@@ -309,7 +378,7 @@ bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
     j->trace.Phase("queue", j->trace.begin_us(), obs::NowMicros());
   };
 
-  if (shutting_down_.load(std::memory_order_relaxed)) {
+  if (HardCancel()) {
     note_queue();
     Deliver(flight.get(), util::Status::Cancelled("server shutting down"));
     return true;
@@ -358,12 +427,24 @@ bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
     return true;
   }
 
+  // Pin the active adapter version: every token of this request decodes
+  // under it, no matter how many swaps land mid-flight (a deferred job
+  // re-pins at its eventual admission — "admitted under" means entering
+  // the batch, not entering the queue).
+  flight->version = CurrentVersion();
+  const uint64_t generation =
+      flight->version != nullptr ? flight->version->sequence : 0;
+  flight->response.adapter_sequence = generation;
+
   // Step-token budget: a prefix hit joins the decode wave (1 token this
   // step), a miss must prefill its whole prompt. A prompt that does not
   // fit next to the current batch is deferred — unless the batch is empty,
   // in which case it runs solo (it is < max_seq_len, so it always can).
+  // Lookups carry the pinned generation: a prefix prefilled under another
+  // adapter version embeds that version's deltas and must never seed this
+  // request's slot.
   std::shared_ptr<const PrefixCache::Entry> entry =
-      cache_.Lookup(j->prompt_ids);
+      cache_.Lookup(j->prompt_ids, generation);
   size_t need = entry != nullptr ? 1 : j->prompt_ids.size();
   if (!rows->empty() && *step_tokens + need > options_.max_batch_tokens) {
     j->carried_retries = flight->response.retries;
@@ -452,9 +533,15 @@ void InferenceServer::SchedulerLoop() {
         work_ready_.wait(lock, [&] {
           return shutdown_started_ || !queue_.empty();
         });
+        if (shutdown_started_ && queue_.empty()) {
+          // Clean exit: nothing in flight, nothing queued. On a graceful
+          // drain this is the zero-cancellation path — every admitted and
+          // queued request already delivered.
+          return;
+        }
       }
     }
-    if (shutting_down_.load(std::memory_order_relaxed)) {
+    if (HardCancel()) {
       // Cancel in-flight rows (their partial streams are dropped — the
       // server is going away), then drain any jobs still queued (e.g. one
       // deferred back after Shutdown() swept the queue).
@@ -505,7 +592,7 @@ void InferenceServer::SchedulerLoop() {
     std::vector<size_t> input_flight;
     for (size_t i = 0; i < rows.size(); ++i) {
       Flight& f = *rows[i];
-      if (shutting_down_.load(std::memory_order_relaxed)) {
+      if (HardCancel()) {
         Deliver(&f, util::Status::Cancelled("server shutting down"));
         release(&rows[i]);
         continue;
@@ -520,11 +607,13 @@ void InferenceServer::SchedulerLoop() {
         release(&rows[i]);
         continue;
       }
+      const model::PositionWiseAdapter* adapter =
+          f.version != nullptr ? f.version->adapter.get() : nullptr;
       if (!f.prefilled) {
         // Prompt not yet forwarded: this row's step input is the prefill.
         f.step_begin_us = obs::NowMicros();
-        inputs.push_back(
-            model::BatchedDecodeSession::RowInput{f.slot, f.prompt_ids});
+        inputs.push_back(model::BatchedDecodeSession::RowInput{
+            f.slot, f.prompt_ids, adapter});
         input_flight.push_back(i);
         continue;
       }
@@ -574,7 +663,7 @@ void InferenceServer::SchedulerLoop() {
         continue;
       }
       inputs.push_back(
-          model::BatchedDecodeSession::RowInput{f.slot, {next}});
+          model::BatchedDecodeSession::RowInput{f.slot, {next}, adapter});
       input_flight.push_back(i);
     }
 
@@ -595,6 +684,7 @@ void InferenceServer::SchedulerLoop() {
           entry->prompt = f.prompt_ids;
           entry->pages = session.Snapshot(f.slot);
           entry->last_row = f.next_row;
+          entry->generation = f.response.adapter_sequence;
           f.cache_entry = std::move(entry);
           int64_t now_us = obs::NowMicros();
           f.job->trace.Phase("prefill", f.step_begin_us, now_us);
@@ -617,9 +707,12 @@ void InferenceServer::FallbackLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       fallback_ready_.wait(lock, [&] {
-        return shutdown_started_ || !fallback_queue_.empty();
+        return scheduler_done_ || !fallback_queue_.empty();
       });
-      if (fallback_queue_.empty()) return;  // only reachable on shutdown
+      // Only exit once the scheduler has joined: until then it may still
+      // degrade flights into this queue, and returning early would orphan
+      // their promises. scheduler_done_ also implies drain is complete.
+      if (fallback_queue_.empty()) return;
       flight = std::move(fallback_queue_.front());
       fallback_queue_.pop_front();
     }
@@ -634,8 +727,13 @@ void InferenceServer::RunDegraded(Flight* f) {
   const size_t vocab = lm_.config().vocab_size;
   int64_t step_begin_us = obs::NowMicros();
   std::vector<int> sequence = f->prompt_ids;
+  // Degraded rows still honor their pinned adapter version: the hook
+  // applies the same position-wise deltas the batched path would have.
+  model::PositionWiseAdapterHook hook(
+      f->version != nullptr ? f->version->adapter.get() : nullptr);
+  const model::ForwardOptions forward = hook.Options();
   for (size_t step = 0; step < f->max_new; ++step) {
-    if (shutting_down_.load(std::memory_order_relaxed)) {
+    if (HardCancel()) {
       Deliver(f, util::Status::Cancelled("server shutting down"));
       return;
     }
@@ -648,7 +746,7 @@ void InferenceServer::RunDegraded(Flight* f) {
       return;
     }
     if (sequence.size() >= max_seq) break;
-    tensor::Tensor logits = lm_.Logits(sequence);
+    tensor::Tensor logits = lm_.Logits(sequence, forward);
     int next =
         ArgmaxRow(logits.data() + (logits.dim(0) - 1) * vocab, vocab);
     if (next == text::kEosId) break;

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "model/batched_session.h"
+#include "model/serve_adapter.h"
 #include "model/transformer.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
+#include "serve/adapter_registry.h"
 #include "serve/prefix_cache.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
@@ -47,6 +49,13 @@ struct ServeOptions {
   /// Deadline applied when a request leaves `deadline` at zero; zero here
   /// too means requests without a deadline run unbounded.
   std::chrono::milliseconds default_deadline{0};
+  /// Graceful-drain budget for Shutdown(): when > 0, shutdown lets
+  /// already-admitted AND queued requests run to completion for up to this
+  /// long before cancelling whatever remains, so a queue that fits the
+  /// budget shuts down with zero cancellations. 0 keeps the original
+  /// behavior (queued requests cancelled immediately, in-flight rows
+  /// cancelled at the next token).
+  std::chrono::milliseconds drain_deadline{0};
   /// Retry policy for fault-injectable steps (tokenize / prefill / decode
   /// step). The per-request deadline is threaded into `retry.deadline`
   /// before each use, so retries never outlive their request.
@@ -82,6 +91,10 @@ struct Response {
   /// this request's lifecycle renders in the Chrome trace. Always set,
   /// including for shed and cancelled requests.
   uint64_t request_id = 0;
+  /// Adapter version the request was pinned to at admission (0 = base
+  /// model): the whole token stream was decoded under exactly this version
+  /// no matter how many swaps happened mid-flight (DESIGN.md §12).
+  uint64_t adapter_sequence = 0;
   double queue_seconds = 0.0;
   double total_seconds = 0.0;
   /// Admission → first token of the delivered stream; 0 when no token was
@@ -112,8 +125,18 @@ struct Response {
 /// streams are bit-exact with single-threaded GreedyDecode on both the
 /// batched and the degraded path.
 ///
-/// Submit() is thread-safe. The model and tokenizer must outlive the
-/// server; the scheduler only reads them.
+/// Hot swap (DESIGN.md §12): SwapAdapters() publishes a new adapter
+/// version with epoch/RCU semantics — each request pins the active version
+/// at admission (a shared_ptr that keeps the weights alive) and decodes
+/// every token under it; new admissions pick up the new version
+/// immediately. The decode loop is never stalled: a step serving two
+/// generations simply runs one packed forward per generation, so a swap
+/// under full load drops zero requests. PrefixCache entries carry the
+/// generation that prefilled them; the swap invalidates exactly the
+/// replaced generation's prefixes (base-model prefixes survive).
+///
+/// Submit() is thread-safe, as is SwapAdapters(). The model and tokenizer
+/// must outlive the server; the scheduler only reads them.
 class InferenceServer {
  public:
   InferenceServer(const model::TransformerLM& lm,
@@ -135,11 +158,24 @@ class InferenceServer {
   /// Synchronous convenience wrapper around Submit().
   Response Run(Request request);
 
-  /// Stops accepting work, cancels queued requests (kUnavailable), lets
-  /// in-flight rows notice cancellation at the next token, and joins the
-  /// scheduler and fallback threads. Idempotent; also run by the
-  /// destructor.
+  /// Stops accepting work and joins the scheduler and fallback threads.
+  /// With `drain_deadline` 0: queued requests are cancelled immediately
+  /// (kUnavailable) and in-flight rows notice cancellation at the next
+  /// token. With a drain budget, admitted and queued work keeps running
+  /// and only what is still unfinished at the deadline is cancelled.
+  /// Idempotent; also run by the destructor.
   void Shutdown();
+
+  /// Atomically replaces the adapter set served to NEW admissions.
+  /// In-flight requests finish on the version they pinned at admission;
+  /// the PrefixCache switches to the new generation and drops the replaced
+  /// one's prefixes. Pass a default AdapterVersion{} (null adapter) to
+  /// swap back to the base model. Callable any time, including under full
+  /// load and before/after Shutdown().
+  void SwapAdapters(AdapterVersion version);
+
+  /// Sequence of the version new admissions currently pin (0 = base).
+  uint64_t active_adapter_sequence() const;
 
   /// Requests currently queued (excludes in-flight ones).
   size_t queue_depth() const;
@@ -179,6 +215,10 @@ class InferenceServer {
     bool prefilled = false;       // false → prompt not yet forwarded
     // Prompt-boundary snapshot shared with / destined for the PrefixCache.
     std::shared_ptr<const PrefixCache::Entry> cache_entry;
+    // Adapter version pinned at admission (null = base model). The
+    // shared_ptr keeps the weights alive for the flight's whole lifetime,
+    // across any number of swaps (epoch pinning, DESIGN.md §12).
+    std::shared_ptr<const AdapterVersion> version;
     size_t slot = 0;
     int64_t step_begin_us = 0;
     int64_t last_token_us = 0;
@@ -221,6 +261,14 @@ class InferenceServer {
            std::chrono::steady_clock::now() >= flight.job->deadline;
   }
 
+  /// True once work must be cancelled NOW: either an immediate shutdown,
+  /// or a graceful drain whose deadline has passed (latches
+  /// `shutting_down_` on first observation so every thread converges).
+  bool HardCancel();
+
+  /// Snapshot of the version new admissions pin (null = base model).
+  std::shared_ptr<const AdapterVersion> CurrentVersion() const;
+
   const model::TransformerLM& lm_;
   const text::Tokenizer& tokenizer_;
   const ServeOptions options_;
@@ -233,8 +281,19 @@ class InferenceServer {
   std::deque<std::unique_ptr<Job>> queue_;
   std::deque<std::unique_ptr<Flight>> fallback_queue_;
   bool shutdown_started_ = false;
+  // Set (under mu_) after the scheduler thread is joined: from then on no
+  // new degraded flights can arrive, so the fallback thread may exit once
+  // its queue is empty — never before, or a flight degraded while the
+  // scheduler wound down would orphan its promise.
+  bool scheduler_done_ = false;
+  // Adapter version new admissions pin; null serves the base model.
+  std::shared_ptr<const AdapterVersion> active_version_;
   // Read mid-decode for cooperative cancellation without taking mu_.
   std::atomic<bool> shutting_down_{false};
+  // Graceful drain: `drain_until_` is written before `draining_` is
+  // released, and only read after an acquire load of `draining_`.
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point drain_until_{};
   std::thread scheduler_;
   std::thread fallback_;
 };

@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
@@ -22,10 +24,13 @@
 #include <thread>
 #include <vector>
 
+#include "core/adapter_stack.h"
 #include "model/generation.h"
+#include "model/serve_adapter.h"
 #include "model/transformer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/adapter_registry.h"
 #include "serve/server.h"
 #include "text/tokenizer.h"
 #include "util/atomic_file.h"
@@ -314,6 +319,273 @@ TEST(ServeChaos, SoakSurvivesComputeAndIoFaults) {
         << dump_status;
   }
   std::remove(dump_path.c_str());
+  faults.Clear();
+}
+
+// Swap-under-load gate (DESIGN.md §12): hot-swap adapter versions through
+// a live continuous-batching server at least 8 times during a 240-request
+// soak with compute faults armed, after a corrupt checkpoint AND an
+// injected `serve/adapter_load` fault each forced a registry rollback. The
+// bar: zero crashes, zero cancellations (no request is dropped by a swap),
+// exact serve/* conservation, and a bit-exact token stream for every
+// request against the adapter version it was admitted under — the corrupt
+// version never serves a single token.
+TEST(ServeChaos, SwapUnderLoadServesEveryPinnedVersionBitExact) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  obs::Registry& registry = obs::Registry::Get();
+  registry.ResetAll();
+  const std::string artifact_dir = ArtifactDir();
+  const std::string swap_trace_path = artifact_dir + "/swap_trace.ndjson";
+
+  std::vector<std::string> corpus = {
+      "alpha beta gamma delta epsilon zeta eta theta iota kappa",
+      "lambda mu nu xi omicron pi rho sigma tau upsilon phi chi",
+  };
+  text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+  model::TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.max_seq_len = 48;
+  util::Rng rng(29);
+  model::TransformerLM lm(config, &rng);
+
+  const std::vector<std::string> prompts = {
+      "alpha beta gamma",
+      "lambda mu nu xi",
+      "sigma tau upsilon phi chi",
+      "theta iota kappa lambda mu nu",
+      "epsilon zeta",
+      "pi rho sigma",
+      "alpha gamma epsilon eta iota",
+      "chi phi upsilon tau",
+  };
+
+  // --- Publish four distinct adapter versions. -------------------------
+  std::string registry_dir =
+      ::testing::TempDir() + "/swap_chaos_registry";
+  std::filesystem::remove_all(registry_dir);
+  AdapterRegistry adapters(registry_dir,
+                           {.max_attempts = 3, .base_delay_ms = 1});
+  std::vector<AdapterVersion> versions;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    core::AdapterStackOptions stack_options;
+    stack_options.first_layer = 0;
+    stack_options.last_layer = 1;
+    stack_options.bottleneck = 4;
+    stack_options.use_infuser = false;
+    core::KnowledgeAdapterStack stack(config.dim, config.num_layers,
+                                      stack_options);
+    util::Rng weights(100 + seed);
+    for (tensor::Tensor& t : stack.AdapterParameters()) {
+      for (float& v : t.impl()->data) {
+        v = static_cast<float>(weights.Normal(0.0, 0.1));
+      }
+    }
+    auto exported = stack.ExportPositionWise();
+    ASSERT_TRUE(exported.ok()) << exported.status();
+    auto published = adapters.Publish(std::move(exported).value());
+    ASSERT_TRUE(published.ok()) << published.status();
+    versions.push_back(std::move(published).value());
+  }
+
+  // --- Rollback gate 1: a corrupt "newest" checkpoint is quarantined and
+  // the walk rolls back to the newest good version. ---------------------
+  std::string corrupt_path = adapters.VersionPath(5);
+  {
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out << "garbage that fails the CRC frame";
+  }
+  auto after_corrupt = adapters.LoadLatest();
+  ASSERT_TRUE(after_corrupt.ok()) << after_corrupt.status();
+  EXPECT_EQ(after_corrupt.value().sequence, uint64_t{4});
+  EXPECT_TRUE(std::filesystem::exists(corrupt_path + ".corrupt"));
+  EXPECT_FALSE(std::filesystem::exists(corrupt_path));
+
+  // --- Rollback gate 2: an injected adapter-load fault with no retry
+  // budget forces a second rollback (v4's file quarantines; its already
+  // published in-memory handle keeps serving below). -------------------
+  ASSERT_TRUE(faults.Configure("serve/adapter_load=fail@1").ok());
+  AdapterRegistry strict(registry_dir,
+                         {.max_attempts = 1, .base_delay_ms = 1});
+  auto after_fault = strict.LoadLatest();
+  ASSERT_TRUE(after_fault.ok()) << after_fault.status();
+  EXPECT_EQ(after_fault.value().sequence, uint64_t{3});
+  EXPECT_TRUE(
+      std::filesystem::exists(adapters.VersionPath(4) + ".corrupt"));
+  faults.Clear();
+  uint64_t rollbacks =
+      registry.GetCounter("serve/swap_rollbacks")->Value();
+  EXPECT_GE(rollbacks, uint64_t{2});
+
+  // --- Per-version sequential references, computed fault-free. ---------
+  // refs[sequence][prompt_index]; sequence 0 is the base model.
+  std::map<uint64_t, std::vector<std::vector<int>>> refs;
+  refs[0] = {};
+  for (const std::string& prompt : prompts) {
+    refs[0].push_back(model::GreedyDecode(
+        lm, tokenizer.EncodeWithSpecials(prompt, false), kMaxNew));
+  }
+  for (const AdapterVersion& version : versions) {
+    model::PositionWiseAdapterHook hook(version.adapter.get());
+    std::vector<std::vector<int>>& streams = refs[version.sequence];
+    for (const std::string& prompt : prompts) {
+      streams.push_back(model::GreedyDecode(
+          lm, tokenizer.EncodeWithSpecials(prompt, false), kMaxNew,
+          hook.Options()));
+    }
+  }
+
+  // --- The soak: compute faults armed, queue sized so nothing sheds —
+  // a swap must never cost a single request. ----------------------------
+  ASSERT_TRUE(faults
+                  .Configure("serve/decode_step=prob:0.04:11;"
+                             "serve/prefill=prob:0.08:5;"
+                             "serve/tokenize=fail@7")
+                  .ok());
+  ServeOptions options;
+  options.max_batch_rows = 6;
+  options.max_batch_tokens = 16;
+  options.queue_capacity = kRequests;  // no shedding: every request runs
+  options.kv_budget_tokens = 20;
+  options.default_max_new_tokens = kMaxNew;
+  options.retry = {.max_attempts = 3, .base_delay_ms = 1};
+  InferenceServer server(lm, tokenizer, options);
+
+  struct Outcome {
+    size_t prompt_index = 0;
+    Response response;
+  };
+  std::vector<Outcome> outcomes(kRequests);
+  std::atomic<bool> soak_done{false};
+
+  // Swapper thread: cycles every published version plus the base model
+  // through the live server while the soak runs, recording an NDJSON
+  // trace line per swap for the CI artifact.
+  std::vector<std::string> swap_trace;
+  std::thread swapper([&] {
+    size_t swaps = 0;
+    while (!soak_done.load(std::memory_order_acquire)) {
+      AdapterVersion next;  // every 5th swap returns to the base model
+      if (swaps % 5 != 4) next = versions[swaps % 5 % versions.size()];
+      uint64_t sequence = next.sequence;
+      server.SwapAdapters(std::move(next));
+      std::ostringstream line;
+      line << "{\"swap\":" << swaps << ",\"sequence\":" << sequence
+           << ",\"t_us\":" << obs::NowMicros() << "}";
+      swap_trace.push_back(line.str());
+      ++swaps;
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  });
+
+  auto build_request = [&](size_t k) {
+    Request request;
+    request.prompt = prompts[k % prompts.size()];
+    request.max_new_tokens = kMaxNew;
+    request.deadline = (k % 9 == 0) ? milliseconds(3) : milliseconds(30000);
+    return request;
+  };
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      if (t < 2) {
+        std::vector<std::pair<size_t, std::future<Response>>> pending;
+        for (size_t k = t; k < kRequests; k += kSubmitters) {
+          pending.emplace_back(k, server.Submit(build_request(k)));
+        }
+        for (auto& [k, future] : pending) {
+          outcomes[k] = {k % prompts.size(), future.get()};
+        }
+      } else {
+        for (size_t k = t; k < kRequests; k += kSubmitters) {
+          outcomes[k] = {k % prompts.size(),
+                         server.Run(build_request(k))};
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  soak_done.store(true, std::memory_order_release);
+  swapper.join();
+
+  EXPECT_LE(server.cached_tokens(), options.kv_budget_tokens);
+  EXPECT_GE(swap_trace.size(), size_t{8})
+      << "soak finished before enough live swaps landed";
+
+  // --- Every response checks against the version it was pinned to. -----
+  size_t ok = 0, deadline = 0, other = 0;
+  std::set<uint64_t> served_sequences;
+  for (size_t k = 0; k < kRequests; ++k) {
+    const Outcome& outcome = outcomes[k];
+    uint64_t sequence = outcome.response.adapter_sequence;
+    ASSERT_TRUE(refs.count(sequence))
+        << "request " << k << " served under unpublished version "
+        << sequence;
+    const std::vector<int>& reference =
+        refs[sequence][outcome.prompt_index];
+    switch (outcome.response.status.code()) {
+      case util::StatusCode::kOk:
+        ++ok;
+        served_sequences.insert(sequence);
+        EXPECT_EQ(outcome.response.tokens, reference)
+            << "request " << k << " diverged from version " << sequence
+            << " (degraded=" << outcome.response.degraded << ")";
+        break;
+      case util::StatusCode::kDeadlineExceeded: {
+        ++deadline;
+        const std::vector<int>& partial = outcome.response.tokens;
+        ASSERT_LE(partial.size(), reference.size()) << "request " << k;
+        for (size_t i = 0; i < partial.size(); ++i) {
+          EXPECT_EQ(partial[i], reference[i])
+              << "request " << k << " partial token " << i
+              << " under version " << sequence;
+        }
+        break;
+      }
+      default:
+        ++other;
+    }
+  }
+  EXPECT_GT(ok, size_t{0});
+  EXPECT_LT(other, kRequests / 10);
+  // The quarantined sequence (5) must never have served: its references
+  // were never computed, so the ASSERT above already proves it — this
+  // documents the invariant.
+  EXPECT_EQ(served_sequences.count(5), size_t{0});
+
+  // Conservation, with the swap-specific clause: a hot-swap cancels
+  // nothing and sheds nothing — every request completed or missed its own
+  // deadline.
+  uint64_t requests = registry.GetCounter("serve/requests")->Value();
+  EXPECT_EQ(requests, kRequests);
+  EXPECT_EQ(requests,
+            registry.GetCounter("serve/completed")->Value() +
+                registry.GetCounter("serve/shed")->Value() +
+                registry.GetCounter("serve/deadline_misses")->Value() +
+                registry.GetCounter("serve/cancelled")->Value() +
+                registry.GetCounter("serve/failures")->Value());
+  EXPECT_EQ(registry.GetCounter("serve/cancelled")->Value(), uint64_t{0});
+  EXPECT_EQ(registry.GetCounter("serve/shed")->Value(), uint64_t{0});
+  EXPECT_GE(registry.GetCounter("serve/swap_applied")->Value(),
+            uint64_t{8});
+  EXPECT_GE(registry.GetCounter("serve/swap_published")->Value(),
+            uint64_t{4});
+  EXPECT_GE(registry.GetCounter("serve/swap_rollbacks")->Value(),
+            uint64_t{2});
+
+  server.Shutdown();
+
+  // Swap trace artifact for CI (one NDJSON line per live swap).
+  std::ostringstream trace_blob;
+  for (const std::string& line : swap_trace) trace_blob << line << "\n";
+  ASSERT_TRUE(util::WriteFileAtomic(swap_trace_path, trace_blob.str(),
+                                    "io/atomic_write",
+                                    {.max_attempts = 3, .base_delay_ms = 1})
+                  .ok());
   faults.Clear();
 }
 

@@ -6,15 +6,19 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/adapter_stack.h"
 #include "model/generation.h"
+#include "model/serve_adapter.h"
 #include "model/transformer.h"
 #include "obs/metrics.h"
+#include "serve/adapter_registry.h"
 #include "serve/prefix_cache.h"
 #include "serve/server.h"
 #include "text/tokenizer.h"
@@ -372,6 +376,135 @@ TEST_F(ServeFixture, TightTokenBudgetDefersButServesAll) {
   }
 }
 
+// Graceful drain: with a drain deadline configured and a queue that fits
+// the budget, Shutdown() must deliver every admitted AND queued request —
+// zero cancellations.
+TEST_F(ServeFixture, GracefulDrainCompletesQueuedWorkWithZeroCancellations) {
+  obs::Registry::Get().ResetAll();
+  ServeOptions options;
+  options.max_batch_rows = 1;  // forces the later submissions to queue
+  options.queue_capacity = 16;
+  options.drain_deadline = milliseconds(10000);
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  const std::vector<std::string> prompts = {
+      "alpha beta gamma", "iota kappa", "sigma tau alpha", "delta epsilon"};
+  std::vector<std::future<Response>> futures;
+  for (const std::string& prompt : prompts) {
+    futures.push_back(server.Submit({prompt, 6}));
+  }
+  server.Shutdown();  // blocks until the drain finishes
+
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << prompts[i] << ": "
+                                      << response.status;
+    EXPECT_EQ(response.tokens, Reference(prompts[i], 6)) << prompts[i];
+  }
+  obs::Registry& registry = obs::Registry::Get();
+  EXPECT_EQ(registry.GetCounter("serve/cancelled")->Value(), uint64_t{0});
+  EXPECT_EQ(registry.GetCounter("serve/completed")->Value(),
+            uint64_t{prompts.size()});
+
+  // Admission is closed from the first instant of the drain.
+  Response rejected = server.Run({prompts[0], 4});
+  EXPECT_EQ(rejected.status.code(), util::StatusCode::kUnavailable);
+}
+
+// The drain deadline is a hard budget: work that outlives it is cancelled,
+// and Shutdown() still returns promptly.
+TEST_F(ServeFixture, DrainDeadlineExceededCancelsLeftovers) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  std::string prompt = PromptWithLongReference(2, 8);
+  // Stall the scheduler inside a 300 ms retry backoff so the 20 ms drain
+  // budget expires while work is still outstanding.
+  ASSERT_TRUE(faults.Configure("serve/decode_step=fail@1").ok());
+  ServeOptions options;
+  options.max_batch_rows = 1;
+  options.drain_deadline = milliseconds(20);
+  options.retry = {
+      .max_attempts = 2, .base_delay_ms = 300, .multiplier = 1.0};
+  InferenceServer server(*lm_, *tokenizer_, options);
+
+  std::future<Response> stalled = server.Submit({prompt, 8});
+  while (server.queue_depth() > 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  std::future<Response> queued = server.Submit({prompt, 8});
+  server.Shutdown();
+
+  Response first = stalled.get();
+  EXPECT_EQ(first.status.code(), util::StatusCode::kCancelled)
+      << first.status;
+  Response second = queued.get();
+  EXPECT_EQ(second.status.code(), util::StatusCode::kUnavailable)
+      << second.status;
+}
+
+// A hot-swap through a live server: responses pin the version active at
+// admission, stay bit-exact with the sequential decoder under that
+// version's hook, and base-model prefixes survive the swap round-trip.
+TEST_F(ServeFixture, SwapAdaptersServesPinnedVersionBitExact) {
+  core::AdapterStackOptions stack_options;
+  stack_options.first_layer = 0;
+  stack_options.last_layer = 1;
+  stack_options.bottleneck = 4;
+  stack_options.use_infuser = false;
+  core::KnowledgeAdapterStack stack(lm_->config().dim,
+                                    lm_->config().num_layers, stack_options);
+  util::Rng rng(17);
+  for (tensor::Tensor& t : stack.AdapterParameters()) {
+    for (float& v : t.impl()->data) {
+      v = static_cast<float>(rng.Normal(0.0, 0.1));
+    }
+  }
+  auto exported = stack.ExportPositionWise();
+  ASSERT_TRUE(exported.ok()) << exported.status();
+
+  std::string dir = ::testing::TempDir() + "/serve_swap_registry";
+  std::filesystem::remove_all(dir);
+  AdapterRegistry registry(dir);
+  auto version = registry.Publish(std::move(exported).value());
+  ASSERT_TRUE(version.ok()) << version.status();
+
+  ServeOptions options;
+  options.max_batch_rows = 2;
+  options.kv_budget_tokens = 256;
+  InferenceServer server(*lm_, *tokenizer_, options);
+  const std::string prompt = "alpha beta gamma";
+  const std::vector<int> ids =
+      tokenizer_->EncodeWithSpecials(prompt, false);
+
+  // Base model before any swap.
+  Response base = server.Run({prompt, 8});
+  ASSERT_TRUE(base.status.ok()) << base.status;
+  EXPECT_EQ(base.adapter_sequence, uint64_t{0});
+  EXPECT_EQ(base.tokens, Reference(prompt, 8));
+
+  // Swap the adapter in: answers must match the hooked sequential decoder
+  // and must NOT reuse the base-generation prefix.
+  server.SwapAdapters(version.value());
+  EXPECT_EQ(server.active_adapter_sequence(), version.value().sequence);
+  model::PositionWiseAdapterHook hook(version.value().adapter.get());
+  std::vector<int> adapted_reference =
+      model::GreedyDecode(*lm_, ids, 8, hook.Options());
+  Response adapted = server.Run({prompt, 8});
+  ASSERT_TRUE(adapted.status.ok()) << adapted.status;
+  EXPECT_EQ(adapted.adapter_sequence, version.value().sequence);
+  EXPECT_FALSE(adapted.prefix_hit);
+  EXPECT_EQ(adapted.tokens, adapted_reference);
+
+  // Swap back to the base model: the generation-0 prefix parked by the
+  // first request survived the swap cycle and is reused, bit-exact.
+  server.SwapAdapters(AdapterVersion{});
+  EXPECT_EQ(server.active_adapter_sequence(), uint64_t{0});
+  Response back = server.Run({prompt, 8});
+  ASSERT_TRUE(back.status.ok()) << back.status;
+  EXPECT_EQ(back.adapter_sequence, uint64_t{0});
+  EXPECT_TRUE(back.prefix_hit);
+  EXPECT_EQ(back.tokens, Reference(prompt, 8));
+}
+
 TEST(PrefixCacheUnit, LookupSharesWithoutRemoving) {
   PrefixCache cache(/*budget_tokens=*/16);
   auto entry = std::make_shared<PrefixCache::Entry>();
@@ -461,6 +594,90 @@ TEST(PrefixCacheUnit, SharedPrefixEvictionAccountingStaysExact) {
   EXPECT_EQ(cache.cached_tokens(), size_t{5});
   EXPECT_EQ(cache.entries(), size_t{1});
   EXPECT_NE(cache.Lookup({1, 2, 3, 4, 5}), nullptr);
+}
+
+TEST(PrefixCacheUnit, ClearReportsExactDropCountAndSparesHandles) {
+  obs::Registry::Get().ResetAll();
+  PrefixCache cache(/*budget_tokens=*/16);
+  auto make = [](std::vector<int> prompt) {
+    auto entry = std::make_shared<PrefixCache::Entry>();
+    entry->prompt = std::move(prompt);
+    return entry;
+  };
+  cache.Insert(make({1, 2, 3}));
+  cache.Insert(make({4, 5, 6, 7}));
+  std::shared_ptr<const PrefixCache::Entry> held = cache.Lookup({1, 2, 3});
+  ASSERT_NE(held, nullptr);
+
+  EXPECT_EQ(cache.Clear(), size_t{2});
+  EXPECT_EQ(cache.entries(), size_t{0});
+  EXPECT_EQ(cache.cached_tokens(), size_t{0});
+  EXPECT_EQ(obs::Registry::Get().GetCounter("serve/evictions")->Value(),
+            uint64_t{2});
+  // A mid-flight handle keeps its snapshot through the Clear().
+  EXPECT_EQ(held->prompt.size(), size_t{3});
+
+  // Clearing an empty cache is a no-op with an exact (zero) count.
+  EXPECT_EQ(cache.Clear(), size_t{0});
+  EXPECT_EQ(obs::Registry::Get().GetCounter("serve/evictions")->Value(),
+            uint64_t{2});
+}
+
+// Generation tags (DESIGN.md §12): invalidation drops exactly the replaced
+// generation's entries, spares generation 0 (base model), keeps mid-flight
+// handles alive — even two rows sharing one entry — and a late insert from
+// a stale generation parks nothing without perturbing the accounting.
+TEST(PrefixCacheUnit, GenerationInvalidationIsExactAndSparesBase) {
+  obs::Registry::Get().ResetAll();
+  PrefixCache cache(/*budget_tokens=*/32);
+  auto make = [](std::vector<int> prompt, uint64_t generation) {
+    auto entry = std::make_shared<PrefixCache::Entry>();
+    entry->prompt = std::move(prompt);
+    entry->generation = generation;
+    return entry;
+  };
+  // One base-model prefix, then two prefixes under adapter generation 1.
+  ASSERT_EQ(cache.Insert(make({1, 2, 3}, 0)), size_t{0});
+  cache.SetActiveGeneration(1);
+  ASSERT_EQ(cache.Insert(make({1, 2, 3}, 1)), size_t{0});
+  ASSERT_EQ(cache.Insert(make({4, 5, 6, 7}, 1)), size_t{0});
+  EXPECT_EQ(cache.entries(), size_t{3});
+  EXPECT_EQ(cache.cached_tokens(), size_t{10});
+
+  // The same prompt resolves per generation — an adapted prefill can
+  // never seed a base request and vice versa.
+  ASSERT_NE(cache.Lookup({1, 2, 3}, 0), nullptr);
+  ASSERT_NE(cache.Lookup({1, 2, 3}, 1), nullptr);
+  EXPECT_NE(cache.Lookup({1, 2, 3}, 0).get(),
+            cache.Lookup({1, 2, 3}, 1).get());
+
+  // Two in-flight rows share one generation-1 entry mid-swap.
+  std::shared_ptr<const PrefixCache::Entry> row_a = cache.Lookup({1, 2, 3}, 1);
+  std::shared_ptr<const PrefixCache::Entry> row_b = cache.Lookup({1, 2, 3}, 1);
+  ASSERT_EQ(row_a.get(), row_b.get());
+
+  // Swap to generation 2: exactly the two generation-1 entries drop.
+  cache.SetActiveGeneration(2);
+  EXPECT_EQ(cache.InvalidateGeneration(1), size_t{2});
+  EXPECT_EQ(cache.entries(), size_t{1});
+  EXPECT_EQ(cache.cached_tokens(), size_t{3});
+  EXPECT_EQ(obs::Registry::Get().GetCounter("serve/evictions")->Value(),
+            uint64_t{2});
+  EXPECT_NE(cache.Lookup({1, 2, 3}, 0), nullptr);   // base survives
+  EXPECT_EQ(cache.Lookup({1, 2, 3}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup({4, 5, 6, 7}, 1), nullptr);
+  EXPECT_EQ(row_a->prompt.size(), size_t{3});       // handles intact
+
+  // Row A retires after the swap: its stale-generation re-publication is
+  // dropped — not parked, not counted as an eviction.
+  EXPECT_EQ(cache.Insert(row_a), size_t{0});
+  EXPECT_EQ(cache.entries(), size_t{1});
+  EXPECT_EQ(cache.cached_tokens(), size_t{3});
+  EXPECT_EQ(obs::Registry::Get().GetCounter("serve/evictions")->Value(),
+            uint64_t{2});
+
+  // Invalidating a generation with no entries reports exactly zero.
+  EXPECT_EQ(cache.InvalidateGeneration(1), size_t{0});
 }
 
 }  // namespace
