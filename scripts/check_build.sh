@@ -33,12 +33,18 @@
 #    bit-exactness suite) with fail-fast TSAN_OPTIONS — zero reports
 #    allowed (tsan.supp is reserved for documented third-party noise; see
 #    DESIGN.md §9).
-# 9. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
+# 9. Builds the whole tree under the Clang Thread Safety Analysis
+#    (-Werror=thread-safety, the tsa preset) and runs the
+#    tests/tsa_violation/ negative compile tests, so the locking contracts
+#    of DESIGN.md §13 are machine-checked. Skipped with a notice when no
+#    clang++ with -Wthread-safety is installed (the scale-run container
+#    has none); CI runs it for real.
+# 10. Lint: clang-format --dry-run --Werror and clang-tidy over src/ when
 #    the LLVM tools are installed (skipped with a notice otherwise — the
 #    scale-run container has no LLVM), then the repo invariant linter
 #    (tools/lint/check_invariants.py) and its self-test, which must always
 #    pass.
-# 10. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
+# 11. Checks that file paths referenced from DESIGN.md / EXPERIMENTS.md /
 #    README.md / ARCHITECTURE.md exist, so the docs cannot drift from the
 #    tree silently.
 set -eu
@@ -255,6 +261,28 @@ for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test \
     "$TSAN_DIR/tests/$tsan_test"
 done
 echo "tsan race gate OK (zero reports)"
+
+echo "== tsa: thread-safety analysis (build-tsa) =="
+TSA_OK=0
+if command -v clang++ > /dev/null 2>&1; then
+  # Probe the actual flag: a clang++ shim over gcc (or an ancient clang)
+  # would otherwise fail the configure with a confusing error.
+  if echo 'int main(){}' | clang++ -x c++ -Wthread-safety -fsyntax-only \
+      - > /dev/null 2>&1; then
+    TSA_OK=1
+  fi
+fi
+if [ "$TSA_OK" -eq 1 ]; then
+  TSA_DIR="${BUILD_DIR}-tsa"
+  cmake -B "$TSA_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ -DINFUSERKI_THREAD_SAFETY=ON
+  cmake --build "$TSA_DIR" -j
+  (cd "$TSA_DIR" && ctest --output-on-failure -R '^tsa_violation_')
+  echo "tsa gate OK (tree clean, seeded violations rejected)"
+else
+  echo "tsa: skipped (no clang++ with -Wthread-safety installed in this" \
+       "container; CI runs it)"
+fi
 
 echo "== lint: format + tidy + invariants =="
 if command -v clang-format > /dev/null 2>&1; then

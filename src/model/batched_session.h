@@ -31,7 +31,12 @@ namespace infuserki::model {
 ///
 /// Sessions are single-threaded and inference-only (all forwards run under
 /// NoGradGuard; hooks / prefix tuning / tracing are unsupported — the
-/// generation layer routes those to the single-sequence paths).
+/// generation layer routes those to the single-sequence paths). Thread
+/// confinement, not locking, is the concurrency contract (DESIGN.md §13):
+/// the session and its KV slot pool are owned by exactly one scheduler
+/// thread, so they carry no mutex and no TSA capabilities. SlotSnapshots
+/// handed to the PrefixCache are immutable shares; the cache's own mu_
+/// publishes them to other rows.
 class BatchedDecodeSession {
  public:
   BatchedDecodeSession(const TransformerLM& lm, size_t max_rows);

@@ -34,6 +34,13 @@ struct LayerKv {
 /// forward appends its new K/V rows) and truncated by
 /// DecodeSession::Rewind (prefix reuse). Rows are plain detached values:
 /// the cache is only ever filled under NoGradGuard.
+///
+/// Concurrency contract (DESIGN.md §13): a KvCache is confined to the one
+/// thread that owns its session (scheduler thread in serving, caller thread
+/// elsewhere), so it is intentionally unsynchronized — no mutex, no TSA
+/// capabilities. Page tensors shared out through slot snapshots are
+/// immutable (appends/truncations always produce fresh tensors), which is
+/// what makes the cross-thread PrefixCache sharing in serve/ safe.
 class KvCache {
  public:
   explicit KvCache(size_t num_layers, size_t num_slots = 1)

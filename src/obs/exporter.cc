@@ -72,12 +72,12 @@ MetricsExporter::~MetricsExporter() { Stop(); }
 void MetricsExporter::Stop() {
   bool was_stopped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     was_stopped = stop_;
     stop_ = true;
   }
   if (was_stopped) return;
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   // Final flush: short-lived processes still leave >= 1 record behind.
   TickNow();
@@ -86,24 +86,28 @@ void MetricsExporter::Stop() {
 void MetricsExporter::TickNow() { ExportOnce(NowMicros()); }
 
 bool MetricsExporter::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return !stop_ && thread_.joinable();
 }
 
 void MetricsExporter::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    if (cv_.wait_for(lock, options_.period, [this] { return stop_; })) {
-      break;
+  for (;;) {
+    {
+      util::MutexLock lock(mu_);
+      // Sleep one period, waking early only on Stop. Spurious wakeups
+      // re-wait against the same deadline, so the tick cadence is stable.
+      auto deadline = std::chrono::steady_clock::now() + options_.period;
+      while (!stop_) {
+        if (cv_.WaitUntil(mu_, deadline)) break;
+      }
+      if (stop_) return;
     }
-    lock.unlock();
     ExportOnce(NowMicros());
-    lock.lock();
   }
 }
 
 void MetricsExporter::ExportOnce(int64_t now_us) {
-  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  util::MutexLock tick_lock(tick_mu_);
   if (options_.on_tick) options_.on_tick();
   window_.Tick(now_us);
   Registry::Snapshot snapshot = Registry::Get().TakeSnapshot();

@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
 #include "obs/window.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::obs {
 
@@ -52,30 +52,33 @@ class MetricsExporter {
 
   /// Final tick + thread join. Idempotent and safe to call concurrently
   /// with metric mutation.
-  void Stop();
+  void Stop() EXCLUDES(mu_, tick_mu_);
 
   /// Runs one export synchronously (also used by the final flush and
   /// tests). Serialized against the background thread's ticks.
-  void TickNow();
+  void TickNow() EXCLUDES(tick_mu_);
 
   uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
-  bool running() const;
+  bool running() const EXCLUDES(mu_);
 
  private:
-  void Loop();
-  void ExportOnce(int64_t now_us);
+  void Loop() EXCLUDES(mu_, tick_mu_);
+  void ExportOnce(int64_t now_us) EXCLUDES(tick_mu_);
   std::string NdjsonRecord(const Registry::Snapshot& snapshot,
-                           int64_t now_us) const;
+                           int64_t now_us) const REQUIRES(tick_mu_);
   static std::string PrometheusText(const Registry::Snapshot& snapshot);
 
   const ExporterOptions options_;
-  SlidingWindow window_;
   std::atomic<uint64_t> ticks_{0};
-  std::mutex tick_mu_;      // serializes ExportOnce between thread and TickNow
-  mutable std::mutex mu_;   // guards stop_ with cv_
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
+  // tick_mu_ serializes ExportOnce between the thread and TickNow; it is
+  // above every lock it ticks into (window_'s own mutex, the registry,
+  // on_tick callees) and is never held together with mu_ (DESIGN.md §13).
+  mutable util::Mutex tick_mu_;
+  SlidingWindow window_ GUARDED_BY(tick_mu_);
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_;  // set in ctor, joined by Stop; never concurrent
 };
 
 }  // namespace infuserki::obs

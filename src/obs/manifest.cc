@@ -16,17 +16,17 @@ Lineage& Lineage::Get() {
 }
 
 void Lineage::Record(std::string event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
 std::vector<std::string> Lineage::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_;
 }
 
 void Lineage::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.clear();
 }
 

@@ -2,10 +2,12 @@
 #define INFUSERKI_OBS_MANIFEST_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::obs {
 
@@ -23,8 +25,8 @@ class Lineage {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> events_;
+  mutable util::Mutex mu_;
+  std::vector<std::string> events_ GUARDED_BY(mu_);
 };
 
 /// JSON run manifest written by bench binaries via --metrics_out: the run

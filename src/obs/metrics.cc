@@ -175,7 +175,7 @@ void CheckNameFree(const Map& map, const std::string& name,
 }  // namespace
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     CheckNameFree(gauges_, name, "gauge");
@@ -188,7 +188,7 @@ Counter* Registry::GetCounter(const std::string& name) {
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     CheckNameFree(counters_, name, "counter");
@@ -200,7 +200,7 @@ Gauge* Registry::GetGauge(const std::string& name) {
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     CheckNameFree(counters_, name, "counter");
@@ -213,7 +213,7 @@ Histogram* Registry::GetHistogram(const std::string& name) {
 }
 
 Registry::Snapshot Registry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Snapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
@@ -277,7 +277,7 @@ std::string Registry::JsonDump() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

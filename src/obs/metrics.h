@@ -8,9 +8,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::obs {
 
@@ -143,9 +145,12 @@ class Histogram {
 ///
 /// Locking contract: `Get()` is a magic static (thread-safe first touch);
 /// every access to the name->metric maps — registration, snapshot, dump,
-/// reset — holds `mu_`. Returned metric pointers are stable forever and may
-/// be updated from any thread without the registry lock (their state is
-/// all std::atomic).
+/// reset — holds `mu_` (GUARDED_BY, compiler-enforced under the tsa preset).
+/// Returned metric pointers are stable forever and may be updated from any
+/// thread without the registry lock (their state is all std::atomic). `mu_`
+/// is near the bottom of the lock hierarchy (DESIGN.md §13): it may be taken
+/// under component locks (e.g. PrefixCache::mu_ publishing gauges) and takes
+/// nothing itself.
 class Registry {
  public:
   static Registry& Get();
@@ -180,10 +185,11 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace infuserki::obs

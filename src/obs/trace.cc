@@ -23,20 +23,22 @@ int64_t NowMicros() {
 }
 
 struct Tracer::ThreadBuffer {
-  std::mutex mu;
-  std::vector<SpanEvent> ring;
-  size_t capacity = 0;
-  size_t next = 0;  // write cursor once the ring is full
-  uint32_t tid = 0;
+  util::Mutex mu;
+  std::vector<SpanEvent> ring GUARDED_BY(mu);
+  size_t capacity GUARDED_BY(mu) = 0;
+  // Write cursor once the ring is full.
+  size_t next GUARDED_BY(mu) = 0;
+  uint32_t tid = 0;  // immutable after registration
 };
 
 Tracer& Tracer::Get() {
   // Locking contract: magic-static first touch; `buffers_` (the list of
-  // per-thread rings) is guarded by `mu_`, each ring's contents by its own
-  // `ThreadBuffer::mu`, and enabled_/capacity_/dropped_/next_tid_ are
-  // atomics. Readers (Events/Clear/Enable) copy the buffer list under `mu_`
-  // and then lock each ring individually, never both locks at once in the
-  // record path.
+  // per-thread rings) is GUARDED_BY(mu_), each ring's contents by its own
+  // `ThreadBuffer::mu` (both compiler-enforced under the tsa preset), and
+  // enabled_/capacity_/dropped_/next_tid_ are atomics. Readers
+  // (Events/Clear) copy the buffer list under `mu_` and then lock each ring
+  // individually; only Enable nests mu_ -> ThreadBuffer::mu (DESIGN.md §13),
+  // and the record path takes just the calling thread's buffer lock.
   static Tracer* tracer = new Tracer();
   return *tracer;
 }
@@ -47,9 +49,9 @@ void Tracer::Enable(size_t capacity_per_thread) {
   {
     // Existing buffers adopt the new capacity (their retained events are
     // kept up to the new bound).
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      util::MutexLock buffer_lock(buffer->mu);
       buffer->capacity = capacity_per_thread;
       if (buffer->ring.size() > capacity_per_thread) {
         buffer->ring.resize(capacity_per_thread);
@@ -65,9 +67,12 @@ void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 Tracer::ThreadBuffer* Tracer::LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
     auto created = std::make_shared<ThreadBuffer>();
-    created->capacity = capacity_.load(std::memory_order_relaxed);
     created->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    {
+      util::MutexLock buffer_lock(created->mu);
+      created->capacity = capacity_.load(std::memory_order_relaxed);
+    }
+    util::MutexLock lock(mu_);
     buffers_.push_back(created);
     return created;
   }();
@@ -77,7 +82,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 void Tracer::Record(std::string name, int64_t begin_us, int64_t end_us,
                     int32_t depth) {
   ThreadBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  util::MutexLock lock(buffer->mu);
   SpanEvent event;
   event.name = std::move(name);
   event.begin_us = begin_us;
@@ -105,7 +110,7 @@ void Tracer::RecordAsync(uint64_t track, std::string name, int64_t begin_us,
   event.track = track;
   event.begin_us = begin_us;
   event.end_us = end_us;
-  std::lock_guard<std::mutex> lock(async_mu_);
+  util::MutexLock lock(async_mu_);
   if (async_ring_.size() < kAsyncCapacity) {
     async_ring_.push_back(std::move(event));
   } else {
@@ -118,7 +123,7 @@ void Tracer::RecordAsync(uint64_t track, std::string name, int64_t begin_us,
 std::vector<AsyncSpanEvent> Tracer::AsyncEvents() const {
   std::vector<AsyncSpanEvent> events;
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    util::MutexLock lock(async_mu_);
     events = async_ring_;
   }
   std::sort(events.begin(), events.end(),
@@ -134,12 +139,12 @@ std::vector<AsyncSpanEvent> Tracer::AsyncEvents() const {
 std::vector<SpanEvent> Tracer::Events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     buffers = buffers_;
   }
   std::vector<SpanEvent> events;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
   }
   std::sort(events.begin(), events.end(),
@@ -215,16 +220,16 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
 void Tracer::Clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     buffer->ring.clear();
     buffer->next = 0;
   }
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    util::MutexLock lock(async_mu_);
     async_ring_.clear();
     async_next_ = 0;
   }

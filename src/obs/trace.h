@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::obs {
 
@@ -110,11 +112,15 @@ class Tracer {
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint32_t> next_tid_{0};
   std::atomic<uint64_t> next_track_{1};
-  mutable std::mutex mu_;  // guards buffers_
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  mutable std::mutex async_mu_;  // guards async_ring_ / async_next_
-  std::vector<AsyncSpanEvent> async_ring_;
-  size_t async_next_ = 0;  // write cursor once the async ring is full
+  // Lock order (DESIGN.md §13): mu_ may be held while taking an individual
+  // ThreadBuffer::mu (Enable's capacity adoption); never the reverse. The
+  // record path takes only the calling thread's buffer lock.
+  mutable util::Mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
+  mutable util::Mutex async_mu_;
+  std::vector<AsyncSpanEvent> async_ring_ GUARDED_BY(async_mu_);
+  // Write cursor once the async ring is full.
+  size_t async_next_ GUARDED_BY(async_mu_) = 0;
 };
 
 /// RAII span: snapshots the clock on construction and records a SpanEvent

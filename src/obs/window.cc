@@ -15,7 +15,7 @@ void SlidingWindow::Tick(int64_t now_us) {
   frame.t_us = now_us >= 0 ? now_us : NowMicros();
   frame.snapshot = Registry::Get().TakeSnapshot();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   frames_.push_back(std::move(frame));
   int64_t horizon =
       frames_.back().t_us - static_cast<int64_t>(window_seconds_ * 1e6);
@@ -36,7 +36,7 @@ bool SlidingWindow::BoundsLocked(const Frame** baseline,
 }
 
 double SlidingWindow::CoveredSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Frame* baseline;
   const Frame* newest;
   if (!BoundsLocked(&baseline, &newest)) return 0.0;
@@ -54,7 +54,7 @@ uint64_t CounterOrZero(const Registry::Snapshot& snapshot,
 }  // namespace
 
 uint64_t SlidingWindow::CounterDelta(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Frame* baseline;
   const Frame* newest;
   if (!BoundsLocked(&baseline, &newest)) return 0;
@@ -64,7 +64,7 @@ uint64_t SlidingWindow::CounterDelta(const std::string& name) const {
 }
 
 double SlidingWindow::CounterRate(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Frame* baseline;
   const Frame* newest;
   if (!BoundsLocked(&baseline, &newest)) return 0.0;
@@ -76,7 +76,7 @@ double SlidingWindow::CounterRate(const std::string& name) const {
 }
 
 double SlidingWindow::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (frames_.empty()) return 0.0;
   const auto& gauges = frames_.back().snapshot.gauges;
   auto it = gauges.find(name);
@@ -84,7 +84,7 @@ double SlidingWindow::GaugeValue(const std::string& name) const {
 }
 
 HistogramStats SlidingWindow::HistogramDelta(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Frame* baseline;
   const Frame* newest;
   if (!BoundsLocked(&baseline, &newest)) return HistogramStats{};
@@ -101,7 +101,7 @@ HistogramStats SlidingWindow::HistogramDelta(const std::string& name) const {
 
 std::map<std::string, double> SlidingWindow::AllCounterRates() const {
   std::map<std::string, double> rates;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Frame* baseline;
   const Frame* newest;
   if (!BoundsLocked(&baseline, &newest)) return rates;
@@ -116,7 +116,7 @@ std::map<std::string, double> SlidingWindow::AllCounterRates() const {
 }
 
 size_t SlidingWindow::frame_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return frames_.size();
 }
 

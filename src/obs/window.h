@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::obs {
 
@@ -60,13 +61,14 @@ class SlidingWindow {
     Registry::Snapshot snapshot;
   };
 
-  /// Returns false before two frames exist. Caller holds mu_.
-  bool BoundsLocked(const Frame** baseline, const Frame** newest) const;
+  /// Returns false before two frames exist.
+  bool BoundsLocked(const Frame** baseline, const Frame** newest) const
+      REQUIRES(mu_);
 
   const double window_seconds_;
   const size_t max_frames_;
-  mutable std::mutex mu_;
-  std::deque<Frame> frames_;
+  mutable util::Mutex mu_;
+  std::deque<Frame> frames_ GUARDED_BY(mu_);
 };
 
 }  // namespace infuserki::obs

@@ -43,8 +43,13 @@ struct AdapterVersion {
 /// return an error (callers keep serving whatever version they already
 /// hold).
 ///
-/// Thread-compatible: publishers and loaders are expected to run on one
-/// control thread (the serving scheduler never touches the registry).
+/// Thread-compatible, deliberately lock-free (DESIGN.md §13): publishers
+/// and loaders run on one control thread (the serving scheduler never
+/// touches the registry), so there is no mutex to annotate — the published
+/// AdapterVersion objects are immutable and cross the thread boundary via
+/// InferenceServer::SwapAdapters, whose mu_ carries the happens-before
+/// edge. Concurrent use of one AdapterRegistry instance from two control
+/// threads is a contract violation, not a supported mode.
 class AdapterRegistry {
  public:
   /// `retry` bounds the per-candidate load retry loop.

@@ -33,7 +33,7 @@ PrefixCache::PrefixCache(size_t budget_tokens)
 
 std::shared_ptr<const PrefixCache::Entry> PrefixCache::Lookup(
     const std::vector<int>& prompt, uint64_t generation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = slots_.find(Key(generation, prompt));
   if (it == slots_.end()) return nullptr;
   it->second.last_use = ++tick_;
@@ -42,7 +42,7 @@ std::shared_ptr<const PrefixCache::Entry> PrefixCache::Lookup(
 
 size_t PrefixCache::Insert(std::shared_ptr<const Entry> entry) {
   if (entry == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (entry->generation != 0 && entry->generation != active_generation_) {
     // A row admitted under a since-replaced adapter version is parking its
     // prefix after the swap already invalidated that generation. Readmitting
@@ -74,7 +74,7 @@ size_t PrefixCache::Insert(std::shared_ptr<const Entry> entry) {
 }
 
 size_t PrefixCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   size_t dropped = slots_.size();
   slots_.clear();
   cached_tokens_ = 0;
@@ -84,7 +84,7 @@ size_t PrefixCache::Clear() {
 }
 
 size_t PrefixCache::InvalidateGeneration(uint64_t gen) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   size_t dropped = 0;
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (it->first.first == gen) {
@@ -103,22 +103,22 @@ size_t PrefixCache::InvalidateGeneration(uint64_t gen) {
 }
 
 void PrefixCache::SetActiveGeneration(uint64_t gen) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   active_generation_ = gen;
 }
 
 uint64_t PrefixCache::active_generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return active_generation_;
 }
 
 size_t PrefixCache::cached_tokens() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return cached_tokens_;
 }
 
 size_t PrefixCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slots_.size();
 }
 

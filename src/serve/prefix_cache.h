@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "model/batched_session.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::serve {
 
@@ -69,7 +70,7 @@ class PrefixCache {
   /// generation `generation` (refreshing its LRU stamp), or null on a
   /// miss. The entry stays resident and available to other callers.
   std::shared_ptr<const Entry> Lookup(const std::vector<int>& prompt,
-                                      uint64_t generation = 0);
+                                      uint64_t generation = 0) EXCLUDES(mu_);
 
   /// Publishes an entry, then enforces the budget by LRU eviction. If the
   /// same (generation, prompt) is already resident its LRU stamp is
@@ -80,26 +81,26 @@ class PrefixCache {
   /// Null entries are ignored. Returns the number of entries evicted by
   /// this call, so callers can attribute evictions to the request that
   /// triggered them.
-  size_t Insert(std::shared_ptr<const Entry> entry);
+  size_t Insert(std::shared_ptr<const Entry> entry) EXCLUDES(mu_);
 
   /// Drops every cached entry (keeps the budget). Returns the exact number
   /// of entries dropped; each counts toward `serve/evictions`.
-  size_t Clear();
+  size_t Clear() EXCLUDES(mu_);
 
   /// Drops every entry of adapter generation `gen` (a swap retiring that
   /// version; callers skip gen 0 so base prefixes survive). Returns the
   /// exact number dropped; each counts toward `serve/evictions`. In-flight
   /// sharers keep their handles alive — invalidation only removes the
   /// pool's reference.
-  size_t InvalidateGeneration(uint64_t gen);
+  size_t InvalidateGeneration(uint64_t gen) EXCLUDES(mu_);
 
   /// The adapter generation new inserts are admitted under. Set by the
   /// swap path BEFORE invalidating the outgoing generation.
-  void SetActiveGeneration(uint64_t gen);
-  uint64_t active_generation() const;
+  void SetActiveGeneration(uint64_t gen) EXCLUDES(mu_);
+  uint64_t active_generation() const EXCLUDES(mu_);
 
-  size_t cached_tokens() const;
-  size_t entries() const;
+  size_t cached_tokens() const EXCLUDES(mu_);
+  size_t entries() const EXCLUDES(mu_);
   size_t budget_tokens() const { return budget_tokens_; }
 
  private:
@@ -110,17 +111,19 @@ class PrefixCache {
   using Key = std::pair<uint64_t, std::vector<int>>;  // (generation, prompt)
 
   /// Evicts LRU slots until `cached_tokens_` fits the budget; returns the
-  /// eviction count. Requires `mu_` held.
-  size_t EnforceBudgetLocked();
-  /// Publishes occupancy gauges. Requires `mu_` held.
-  void PublishLocked();
+  /// eviction count.
+  size_t EnforceBudgetLocked() REQUIRES(mu_);
+  /// Publishes occupancy gauges.
+  void PublishLocked() REQUIRES(mu_);
 
   const size_t budget_tokens_;
-  mutable std::mutex mu_;
-  uint64_t tick_ = 0;
-  size_t cached_tokens_ = 0;
-  uint64_t active_generation_ = 0;
-  std::map<Key, Slot> slots_;
+  // Leaf-adjacent in the lock hierarchy (DESIGN.md §13): PublishLocked may
+  // resolve metrics under it on first touch; nothing else nests below.
+  mutable util::Mutex mu_;
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+  size_t cached_tokens_ GUARDED_BY(mu_) = 0;
+  uint64_t active_generation_ GUARDED_BY(mu_) = 0;
+  std::map<Key, Slot> slots_ GUARDED_BY(mu_);
 };
 
 }  // namespace infuserki::serve

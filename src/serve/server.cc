@@ -142,7 +142,7 @@ std::future<Response> InferenceServer::Submit(Request request) {
   std::future<Response> future = job->promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (shutdown_started_) {
       metrics.cancelled->Increment();
       Response response;
@@ -173,7 +173,7 @@ std::future<Response> InferenceServer::Submit(Request request) {
     metrics.queue_depth_max->UpdateMax(
         static_cast<double>(queue_.size()));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return future;
 }
 
@@ -184,7 +184,7 @@ Response InferenceServer::Run(Request request) {
 void InferenceServer::Shutdown() {
   std::deque<std::unique_ptr<Job>> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!shutdown_started_) {
       shutdown_started_ = true;
       if (options_.drain_deadline.count() > 0) {
@@ -200,8 +200,8 @@ void InferenceServer::Shutdown() {
       }
     }
   }
-  work_ready_.notify_all();
-  fallback_ready_.notify_all();
+  work_ready_.NotifyAll();
+  fallback_ready_.NotifyAll();
   for (std::unique_ptr<Job>& job : orphaned) {
     Metrics().cancelled->Increment();
     Response response;
@@ -217,10 +217,10 @@ void InferenceServer::Shutdown() {
     // The scheduler may have handed degraded rows to the fallback thread
     // on its way out; only now that it is joined can the fallback thread
     // safely exit on an empty queue (see scheduler_done_).
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     scheduler_done_ = true;
   }
-  fallback_ready_.notify_all();
+  fallback_ready_.NotifyAll();
   if (fallback_.joinable()) fallback_.join();
   // After the last request resolved: one final flush so short-lived
   // servers still leave a complete record, then the thread stops.
@@ -247,7 +247,7 @@ void InferenceServer::SwapAdapters(AdapterVersion version) {
   uint64_t new_sequence = next != nullptr ? next->sequence : 0;
   uint64_t old_sequence = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     old_sequence = active_version_ != nullptr ? active_version_->sequence : 0;
     active_version_ = std::move(next);
   }
@@ -267,18 +267,18 @@ void InferenceServer::SwapAdapters(AdapterVersion version) {
 }
 
 uint64_t InferenceServer::active_adapter_sequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return active_version_ != nullptr ? active_version_->sequence : 0;
 }
 
 std::shared_ptr<const AdapterVersion> InferenceServer::CurrentVersion()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return active_version_;
 }
 
 size_t InferenceServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -450,7 +450,7 @@ bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
     j->carried_retries = flight->response.retries;
     std::unique_ptr<Job> back = std::move(flight->job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       queue_.push_front(std::move(back));
       metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
@@ -501,10 +501,10 @@ void InferenceServer::DegradeToFallback(std::unique_ptr<Flight> flight) {
   f->last_token_us = 0;
   f->cache_entry.reset();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     fallback_queue_.push_back(std::move(flight));
   }
-  fallback_ready_.notify_one();
+  fallback_ready_.NotifyOne();
 }
 
 void InferenceServer::SchedulerLoop() {
@@ -528,11 +528,9 @@ void InferenceServer::SchedulerLoop() {
 
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (rows.empty()) {
-        work_ready_.wait(lock, [&] {
-          return shutdown_started_ || !queue_.empty();
-        });
+        while (!shutdown_started_ && queue_.empty()) work_ready_.Wait(mu_);
         if (shutdown_started_ && queue_.empty()) {
           // Clean exit: nothing in flight, nothing queued. On a graceful
           // drain this is the zero-cancellation path — every admitted and
@@ -553,7 +551,7 @@ void InferenceServer::SchedulerLoop() {
       rows.clear();
       std::deque<std::unique_ptr<Job>> orphaned;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         orphaned.swap(queue_);
       }
       for (std::unique_ptr<Job>& job : orphaned) {
@@ -575,7 +573,7 @@ void InferenceServer::SchedulerLoop() {
     while (rows.size() < session.max_rows()) {
       std::unique_ptr<Job> job;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         if (queue_.empty()) break;
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -705,10 +703,10 @@ void InferenceServer::FallbackLoop() {
   while (true) {
     std::unique_ptr<Flight> flight;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      fallback_ready_.wait(lock, [&] {
-        return scheduler_done_ || !fallback_queue_.empty();
-      });
+      util::MutexLock lock(mu_);
+      while (!scheduler_done_ && fallback_queue_.empty()) {
+        fallback_ready_.Wait(mu_);
+      }
       // Only exit once the scheduler has joined: until then it may still
       // degrade flights into this queue, and returning early would orphan
       // their promises. scheduler_done_ also implies drain is complete.

@@ -3,13 +3,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,8 +21,10 @@
 #include "serve/prefix_cache.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::serve {
 
@@ -153,7 +153,7 @@ class InferenceServer {
   /// Enqueues a request. The future resolves when the request completes,
   /// is shed (immediately, with kResourceExhausted), or is cancelled by
   /// shutdown; it never blocks forever.
-  std::future<Response> Submit(Request request);
+  std::future<Response> Submit(Request request) EXCLUDES(mu_);
 
   /// Synchronous convenience wrapper around Submit().
   Response Run(Request request);
@@ -164,7 +164,7 @@ class InferenceServer {
   /// token. With a drain budget, admitted and queued work keeps running
   /// and only what is still unfinished at the deadline is cancelled.
   /// Idempotent; also run by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   /// Atomically replaces the adapter set served to NEW admissions.
   /// In-flight requests finish on the version they pinned at admission;
@@ -172,13 +172,13 @@ class InferenceServer {
   /// one's prefixes. Pass a default AdapterVersion{} (null adapter) to
   /// swap back to the base model. Callable any time, including under full
   /// load and before/after Shutdown().
-  void SwapAdapters(AdapterVersion version);
+  void SwapAdapters(AdapterVersion version) EXCLUDES(mu_);
 
   /// Sequence of the version new admissions currently pin (0 = base).
-  uint64_t active_adapter_sequence() const;
+  uint64_t active_adapter_sequence() const EXCLUDES(mu_);
 
   /// Requests currently queued (excludes in-flight ones).
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mu_);
 
   /// KV tokens currently held by the prefix cache.
   size_t cached_tokens() const { return cache_.cached_tokens(); }
@@ -224,8 +224,8 @@ class InferenceServer {
     int64_t last_token_us = 0;
   };
 
-  void SchedulerLoop();
-  void FallbackLoop();
+  void SchedulerLoop() EXCLUDES(mu_);
+  void FallbackLoop() EXCLUDES(mu_);
 
   /// Admits the queue head into `rows`. Returns false when the job was
   /// deferred (left at the queue head) because its prefill does not fit
@@ -233,11 +233,11 @@ class InferenceServer {
   bool AdmitOne(std::unique_ptr<Job> job,
                 model::BatchedDecodeSession* session,
                 std::vector<std::unique_ptr<Flight>>* rows,
-                size_t* step_tokens);
+                size_t* step_tokens) EXCLUDES(mu_);
 
   /// Marks `flight` degraded and hands it to the fallback thread for
   /// cacheless full-recompute decoding.
-  void DegradeToFallback(std::unique_ptr<Flight> flight);
+  void DegradeToFallback(std::unique_ptr<Flight> flight) EXCLUDES(mu_);
 
   /// Cacheless full-recompute decode for a degraded request.
   void RunDegraded(Flight* flight);
@@ -267,7 +267,7 @@ class InferenceServer {
   bool HardCancel();
 
   /// Snapshot of the version new admissions pin (null = base model).
-  std::shared_ptr<const AdapterVersion> CurrentVersion() const;
+  std::shared_ptr<const AdapterVersion> CurrentVersion() const EXCLUDES(mu_);
 
   const model::TransformerLM& lm_;
   const text::Tokenizer& tokenizer_;
@@ -275,19 +275,22 @@ class InferenceServer {
   PrefixCache cache_;
   std::unique_ptr<obs::MetricsExporter> exporter_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable fallback_ready_;
-  std::deque<std::unique_ptr<Job>> queue_;
-  std::deque<std::unique_ptr<Flight>> fallback_queue_;
-  bool shutdown_started_ = false;
-  // Set (under mu_) after the scheduler thread is joined: from then on no
-  // new degraded flights can arrive, so the fallback thread may exit once
-  // its queue is empty — never before, or a flight degraded while the
-  // scheduler wound down would orphan its promise.
-  bool scheduler_done_ = false;
+  // Guards all queue/drain scheduler state below. Promises are resolved and
+  // model steps run OUTSIDE it; PrefixCache::mu_ and the metrics registry
+  // are never taken under it (DESIGN.md §13).
+  mutable util::Mutex mu_;
+  util::CondVar work_ready_;
+  util::CondVar fallback_ready_;
+  std::deque<std::unique_ptr<Job>> queue_ GUARDED_BY(mu_);
+  std::deque<std::unique_ptr<Flight>> fallback_queue_ GUARDED_BY(mu_);
+  bool shutdown_started_ GUARDED_BY(mu_) = false;
+  // Set after the scheduler thread is joined: from then on no new degraded
+  // flights can arrive, so the fallback thread may exit once its queue is
+  // empty — never before, or a flight degraded while the scheduler wound
+  // down would orphan its promise.
+  bool scheduler_done_ GUARDED_BY(mu_) = false;
   // Adapter version new admissions pin; null serves the base model.
-  std::shared_ptr<const AdapterVersion> active_version_;
+  std::shared_ptr<const AdapterVersion> active_version_ GUARDED_BY(mu_);
   // Read mid-decode for cooperative cancellation without taking mu_.
   std::atomic<bool> shutting_down_{false};
   // Graceful drain: `drain_until_` is written before `draining_` is

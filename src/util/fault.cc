@@ -55,7 +55,7 @@ FaultRegistry::FaultRegistry() {
 }
 
 Status FaultRegistry::Configure(const std::string& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::string& raw : Split(spec, ";,")) {
     std::string entry = Trim(raw);
     if (entry.empty()) continue;
@@ -111,14 +111,14 @@ Status FaultRegistry::Configure(const std::string& spec) {
 }
 
 void FaultRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   active_.store(false, std::memory_order_relaxed);
 }
 
 Status FaultRegistry::Hit(const std::string& point) {
   if (!active()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return Status::OK();
   Point& p = it->second;
@@ -154,7 +154,7 @@ Status FaultRegistry::Hit(const std::string& point) {
 }
 
 uint64_t FaultRegistry::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hit_count;
 }

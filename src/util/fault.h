@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <random>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::util {
 
@@ -48,18 +49,18 @@ class FaultRegistry {
 
   /// Parses and arms a fault spec (see class comment). Returns
   /// kInvalidArgument on a malformed spec, leaving valid entries armed.
-  Status Configure(const std::string& spec);
+  Status Configure(const std::string& spec) EXCLUDES(mu_);
 
   /// Disarms everything and resets hit counters.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Registers one hit of `point`. Returns OK, an injected kInternal error,
   /// or does not return at all (crash mode).
-  Status Hit(const std::string& point);
+  Status Hit(const std::string& point) EXCLUDES(mu_);
 
   /// Number of times `point` was hit since the last Clear(). Counted only
   /// while a fault (of any mode) is armed on the point.
-  uint64_t hits(const std::string& point) const;
+  uint64_t hits(const std::string& point) const EXCLUDES(mu_);
 
   /// True when any failpoint is armed — lets per-step call sites skip the
   /// lock entirely in production.
@@ -77,9 +78,9 @@ class FaultRegistry {
     uint64_t hit_count = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Point> points_;
-  std::atomic<bool> active_{false};
+  mutable Mutex mu_;
+  std::map<std::string, Point> points_ GUARDED_BY(mu_);
+  std::atomic<bool> active_{false};  // lock-free armed? fast path
 };
 
 /// Options for RetryWithBackoff. Delays are `base_delay_ms * multiplier^k`

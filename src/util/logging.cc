@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace infuserki::util {
 namespace {
@@ -37,9 +38,11 @@ std::string FormatNow() {
 
 // Serializes writes so multi-threaded log lines do not interleave.
 // Locking contract: magic-static first touch; the mutex is the only
-// post-init state and is held for the duration of each stderr write.
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+// post-init state and is held for the duration of each stderr write. A
+// global leaf in the lock hierarchy (DESIGN.md §13): logging is allowed
+// while holding any other lock, and nothing is acquired under it.
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -81,7 +84,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {

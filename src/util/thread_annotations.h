@@ -1,0 +1,63 @@
+// Portable Clang Thread Safety Analysis annotations (DESIGN.md §13).
+//
+// These macros attach compile-time locking contracts to data and functions:
+// `GUARDED_BY(mu_)` on a member means every access must hold `mu_`;
+// `REQUIRES(mu_)` on a function means callers must already hold it;
+// `EXCLUDES(mu_)` means callers must NOT hold it (the function acquires it
+// itself). Under Clang with `-Wthread-safety` (the `tsa` preset) violations
+// are hard compile errors; under any other compiler every macro expands to
+// nothing, so the annotations cost nothing on the tier-1 GCC build.
+//
+// Only `util::Mutex` / `util::MutexLock` / `util::CondVar` (util/mutex.h)
+// may declare capabilities; raw std::mutex is banned outside that wrapper by
+// the `raw-mutex` invariant-linter rule.
+#ifndef INFUSERKI_UTIL_THREAD_ANNOTATIONS_H_
+#define INFUSERKI_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define INFUSERKI_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define INFUSERKI_TSA_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+// A type that models a capability (a lock). Argument names the capability
+// kind, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) INFUSERKI_TSA_ATTRIBUTE(capability(x))
+
+// An RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY INFUSERKI_TSA_ATTRIBUTE(scoped_lockable)
+
+// Data members: all reads and writes must hold the named capability.
+#define GUARDED_BY(x) INFUSERKI_TSA_ATTRIBUTE(guarded_by(x))
+#define PT_GUARDED_BY(x) INFUSERKI_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+// Functions: the caller must hold (REQUIRES) / must not hold (EXCLUDES)
+// the named capabilities on entry.
+#define REQUIRES(...) \
+  INFUSERKI_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  INFUSERKI_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) INFUSERKI_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release capabilities as a side effect.
+#define ACQUIRE(...) INFUSERKI_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  INFUSERKI_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) INFUSERKI_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  INFUSERKI_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  INFUSERKI_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (e.g. after an adopt).
+#define ASSERT_CAPABILITY(x) INFUSERKI_TSA_ATTRIBUTE(assert_capability(x))
+
+// A function that returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) INFUSERKI_TSA_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  INFUSERKI_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // INFUSERKI_UTIL_THREAD_ANNOTATIONS_H_

@@ -58,10 +58,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -71,7 +71,7 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   PoolMetrics& metrics = Metrics();
   size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(Task{std::move(fn), obs::NowMicros()});
     ++in_flight_;
     depth = queue_.size();
@@ -79,12 +79,12 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   metrics.scheduled->Increment();
   metrics.queue_depth->Set(static_cast<double>(depth));
   metrics.queue_depth_max->UpdateMax(static_cast<double>(depth));
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -93,9 +93,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mu_);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -112,17 +111,18 @@ void ThreadPool::WorkerLoop() {
         static_cast<double>(obs::NowMicros() - start_us) * 1e-6);
     metrics.completed->Increment();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
 
 ThreadPool& GlobalThreadPool() {
   // Locking contract: magic-static first touch; all post-init mutable pool
-  // state (queue_, in_flight_, shutting_down_) is guarded by ThreadPool::mu_
-  // and workers_ is immutable after construction.
+  // state (queue_, in_flight_, shutting_down_) is GUARDED_BY(ThreadPool::mu_)
+  // — compiler-enforced under the tsa preset (DESIGN.md §13) — and workers_
+  // is immutable after construction.
   static ThreadPool* pool = [] {
     // INFUSERKI_NUM_THREADS overrides hardware concurrency — lets the TSan
     // race gate force real interleaving on single-core hosts (where the
@@ -170,21 +170,24 @@ void ParallelForEach(size_t n, const std::function<void(size_t)>& fn) {
   // Private completion group: waits only for the tasks scheduled here, so
   // concurrent callers (and the pool's global Wait) do not interfere.
   struct Group {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining;
+    Mutex mu;
+    CondVar done;
+    size_t remaining GUARDED_BY(mu) = 0;
   };
   auto group = std::make_shared<Group>();
-  group->remaining = n;
+  {
+    MutexLock lock(group->mu);
+    group->remaining = n;
+  }
   for (size_t i = 0; i < n; ++i) {
     pool.Schedule([i, group, &fn] {
       fn(i);
-      std::lock_guard<std::mutex> lock(group->mu);
-      if (--group->remaining == 0) group->done.notify_all();
+      MutexLock lock(group->mu);
+      if (--group->remaining == 0) group->done.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(group->mu);
-  group->done.wait(lock, [&] { return group->remaining == 0; });
+  MutexLock lock(group->mu);
+  while (group->remaining != 0) group->done.Wait(group->mu);
 }
 
 }  // namespace infuserki::util

@@ -1,14 +1,15 @@
 #ifndef INFUSERKI_UTIL_THREADPOOL_H_
 #define INFUSERKI_UTIL_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infuserki::util {
 
@@ -29,10 +30,10 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task for asynchronous execution.
-  void Schedule(std::function<void()> fn);
+  void Schedule(std::function<void()> fn) EXCLUDES(mu_);
 
   /// Blocks until all scheduled tasks have finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -44,13 +45,13 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::queue<Task> queue_;
-  std::vector<std::thread> workers_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::queue<Task> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // immutable after construction
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 /// Returns the process-wide shared pool (lazily created, never destroyed,

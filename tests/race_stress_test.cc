@@ -8,11 +8,16 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "model/decode_session.h"
 #include "model/generation.h"
 #include "model/transformer.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
+#include "serve/prefix_cache.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -323,6 +328,115 @@ TEST(RaceStress, ParallelMcqDecodeSharedModel) {
     EXPECT_EQ(scores[task], expected[task % continuations.size()])
         << "task " << task;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window readers racing ticks: one thread ticks a shared window
+// while kThreads readers pull windowed rates/deltas and writers churn the
+// registry underneath — the DESIGN.md §13 SlidingWindow::mu_ leaf under
+// concurrent load. A live MetricsExporter (1ms period, no files) runs
+// through the same stretch with TickNow() churn from the test thread, so
+// its internal window's tick path races its own background loop too.
+TEST(RaceStress, SlidingWindowReadersRaceExporterTicks) {
+  obs::Registry& registry = obs::Registry::Get();
+  obs::Counter* counter = registry.GetCounter("race/window_counter");
+  obs::Histogram* histogram = registry.GetHistogram("race/window_histogram");
+  counter->Reset();
+  histogram->Reset();
+
+  obs::ExporterOptions options;
+  options.period = std::chrono::milliseconds(1);
+  options.window_seconds = 0.5;
+  options.on_tick = [counter] { counter->Increment(); };
+  obs::MetricsExporter exporter(options);
+
+  obs::SlidingWindow window(/*window_seconds=*/0.5, /*max_frames=*/32);
+  std::atomic<bool> done{false};
+  std::thread ticker([&window, &done] {
+    while (!done.load()) {
+      window.Tick();
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        counter->Increment();
+        histogram->Record(1e-5 * static_cast<double>(i + 1));
+        (void)window.CounterRate("race/window_counter");
+        (void)window.CounterDelta("race/window_counter");
+        (void)window.HistogramDelta("race/window_histogram");
+        (void)window.AllCounterRates();
+        (void)window.CoveredSeconds();
+        (void)window.frame_count();
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    exporter.TickNow();  // races the exporter's own Loop on tick_mu_
+  }
+  for (std::thread& reader : readers) reader.join();
+  done.store(true);
+  ticker.join();
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_GE(exporter.ticks(), uint64_t{50});
+  // Every tick ran the on_tick hook plus kThreads * 200 reader increments.
+  EXPECT_GE(counter->Value(), uint64_t{kThreads * 200});
+}
+
+// ---------------------------------------------------------------------------
+// Prefix-cache swap churn: inserters publish entries across generations and
+// readers share lookups while a swapper thread advances the active
+// generation and invalidates the outgoing one — the §12 hot-swap path's
+// cache traffic compressed into a tight loop. Assertions are coarse
+// (budget respected, exact drain at the end); the interleaving is the test.
+TEST(RaceStress, PrefixCacheGenerationSwapChurn) {
+  constexpr size_t kBudget = 64;
+  serve::PrefixCache cache(kBudget);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> generation{0};
+
+  std::thread swapper([&cache, &done, &generation] {
+    uint64_t gen = 0;
+    while (!done.load()) {
+      uint64_t next = gen + 1;
+      cache.SetActiveGeneration(next);
+      generation.store(next);
+      cache.InvalidateGeneration(gen);  // races Insert/Lookup below
+      gen = next;
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &generation, t] {
+      for (int i = 0; i < 200; ++i) {
+        uint64_t gen = (i % 4 == 0) ? 0 : generation.load();
+        auto entry = std::make_shared<serve::PrefixCache::Entry>();
+        entry->prompt = {static_cast<int>(t), i % 8};
+        entry->generation = gen;
+        (void)cache.Insert(std::move(entry));
+        // Shared lookups: hits pin entries the swapper may be dropping.
+        std::shared_ptr<const serve::PrefixCache::Entry> hit =
+            cache.Lookup({static_cast<int>(t), i % 8}, gen);
+        if (hit != nullptr) {
+          EXPECT_EQ(hit->prompt.size(), size_t{2});
+        }
+        (void)cache.cached_tokens();
+        (void)cache.entries();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  done.store(true);
+  swapper.join();
+  EXPECT_LE(cache.cached_tokens(), kBudget);
+  size_t resident = cache.entries();
+  EXPECT_EQ(cache.Clear(), resident);
+  EXPECT_EQ(cache.entries(), size_t{0});
+  EXPECT_EQ(cache.cached_tokens(), size_t{0});
 }
 
 // Greedy decode fan-out: concurrent sessions generating token streams from

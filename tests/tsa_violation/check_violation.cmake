@@ -1,0 +1,47 @@
+# Asserts one seeded locking-contract violation is caught at compile time.
+#
+# Usage:
+#   cmake -DCOMPILER=<c++> -DTU=<file.cc> -DINCLUDE_DIR=<src> \
+#         -P check_violation.cmake
+#
+# Two compiles of the same TU:
+#   1. WITHOUT the analysis — must succeed, proving the TU is otherwise
+#      valid C++ (a syntax error would "fail" step 2 for the wrong reason).
+#   2. WITH -Werror=thread-safety — must fail, and the diagnostic must
+#      mention thread safety, proving the analysis (not some other warning)
+#      rejected it.
+foreach(var COMPILER TU INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_violation.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(BASE_FLAGS -std=c++20 -I${INCLUDE_DIR} -fsyntax-only)
+
+execute_process(
+  COMMAND ${COMPILER} ${BASE_FLAGS} ${TU}
+  RESULT_VARIABLE clean_result
+  ERROR_VARIABLE clean_stderr)
+if(NOT clean_result EQUAL 0)
+  message(FATAL_ERROR
+      "${TU} must be valid C++ without the analysis, but failed:\n"
+      "${clean_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${BASE_FLAGS} -Wthread-safety -Werror=thread-safety
+          ${TU}
+  RESULT_VARIABLE tsa_result
+  ERROR_VARIABLE tsa_stderr)
+if(tsa_result EQUAL 0)
+  message(FATAL_ERROR
+      "${TU} compiled clean under -Werror=thread-safety — the seeded "
+      "violation was NOT caught; the analysis is off or the annotation "
+      "macros expanded to nothing.")
+endif()
+if(NOT tsa_stderr MATCHES "thread-safety")
+  message(FATAL_ERROR
+      "${TU} failed for a reason other than a thread-safety diagnostic:\n"
+      "${tsa_stderr}")
+endif()
+message(STATUS "seeded violation in ${TU} correctly rejected")

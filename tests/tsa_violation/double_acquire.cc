@@ -1,0 +1,30 @@
+// Seeded violation: acquiring the same mutex twice in one scope (self-
+// deadlock on a non-recursive mutex). Must fail to compile under
+// -Werror=thread-safety (asserted by check_violation.cmake); valid C++
+// otherwise — it would deadlock at runtime, which is exactly the class of
+// bug the analysis catches before a test ever runs.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void DoubleBump() {
+    infuserki::util::MutexLock outer(mu_);
+    infuserki::util::MutexLock inner(mu_);  // BUG: mu_ is already held
+    ++value_;
+  }
+
+ private:
+  infuserki::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.DoubleBump();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Seeded violation: calling a REQUIRES(mu_) function without holding the
+// mutex. Must fail to compile under -Werror=thread-safety (asserted by
+// check_violation.cmake); valid C++ otherwise.
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Cache {
+ public:
+  size_t EvictAll() {
+    return EvictLocked();  // BUG: caller does not hold mu_
+  }
+
+  size_t EvictAllSafely() {
+    infuserki::util::MutexLock lock(mu_);
+    return EvictLocked();
+  }
+
+ private:
+  size_t EvictLocked() REQUIRES(mu_) { return entries_ = 0; }
+
+  infuserki::util::Mutex mu_;
+  size_t entries_ GUARDED_BY(mu_) = 4;
+};
+
+}  // namespace
+
+int main() {
+  Cache cache;
+  return static_cast<int>(cache.EvictAll() + cache.EvictAllSafely());
+}

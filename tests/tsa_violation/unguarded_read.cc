@@ -1,0 +1,32 @@
+// Seeded violation: reading a GUARDED_BY field without holding its mutex.
+// Must fail to compile under -Werror=thread-safety (asserted by
+// check_violation.cmake); valid C++ otherwise.
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  size_t UnsafeDepth() const {
+    return depth_;  // BUG: no lock held — the analysis must reject this
+  }
+
+  size_t Depth() const {
+    infuserki::util::MutexLock lock(mu_);
+    return depth_;
+  }
+
+ private:
+  mutable infuserki::util::Mutex mu_;
+  size_t depth_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  return static_cast<int>(queue.UnsafeDepth() + queue.Depth());
+}

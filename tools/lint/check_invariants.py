@@ -33,6 +33,21 @@ they are about *this* repo's conventions:
                 in the §6 Observability metric table, so the batching
                 narrative cannot drift from the metric registry. Names that
                 are fault points in code (e.g. `serve/prefill`) are exempt.
+  raw-mutex     Raw std::mutex / std::lock_guard / std::unique_lock /
+                std::condition_variable / std::scoped_lock / shared_mutex
+                in src/ is banned outside the annotated wrapper
+                (util::Mutex / util::MutexLock / util::CondVar in
+                src/util/mutex.h) — the Thread Safety Analysis (DESIGN.md
+                §13) can only track capabilities it can see. Escape hatch:
+                `lint: allow-raw-mutex(<reason>)` on the offending line.
+  mutex-guards  Every util::Mutex member declared in src/ must have at
+                least one GUARDED_BY / PT_GUARDED_BY / REQUIRES peer
+                naming it in the same file — a lock that guards nothing
+                is either dead or (worse) silently believed to guard
+                something the analysis is not told about.
+  lock-order    Every lock named in the DESIGN.md §13 lock table must
+                exist in src/ under the same class/member names, so the
+                documented lock hierarchy cannot drift from the code.
 
 Exit status: 0 when the tree is clean, 1 when any violation is found,
 2 on usage errors. Each violation prints as `file:line: [rule] message`.
@@ -83,6 +98,33 @@ RNG_PATTERNS = (
         "RNG seeded from wall-clock time breaks bit-exact reproducibility",
     ),
 )
+
+# The only files allowed to touch the raw standard-library primitives: the
+# annotated wrapper itself (and the macro header its capability attributes
+# come from).
+RAW_MUTEX_ALLOWLIST = (
+    "src/util/mutex.h",
+    "src/util/thread_annotations.h",
+)
+RAW_MUTEX_ANNOTATION = re.compile(r"lint:\s*allow-raw-mutex\(([^)]+)\)")
+RAW_MUTEX_PATTERN = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard"
+    r"|unique_lock|scoped_lock|shared_lock|condition_variable(?:_any)?)\b")
+
+# A util::Mutex member declaration: optional `mutable`, optional namespace
+# qualification, then the capitalised wrapper type and an identifier.
+# Pointer/reference declarations (e.g. the leaked LogMutex singleton) are
+# deliberately not matched — they alias a mutex declared elsewhere.
+MUTEX_MEMBER_PATTERN = re.compile(
+    r"(?:^|[\s(])(?:mutable\s+)?(?:util::|infuserki::util::)?"
+    r"Mutex\s+(\w+)\s*[;={]")
+
+# §13 lock-table rows: `| `Class::member` | ...` — the first backticked
+# token of each table row is the lock's canonical code name.
+LOCK_SECTION = re.compile(
+    r"^##[^\n]*Locking contracts[^\n]*\n(.*?)(?=^## |\Z)",
+    re.MULTILINE | re.DOTALL)
+LOCK_TABLE_ROW = re.compile(r"^\|\s*`([^`]+)`")
 
 BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
 STRING_FREE_LINE_COMMENT = re.compile(r"//[^\n]*")
@@ -325,6 +367,81 @@ def check_batching_metrics(root, design_text, violations):
                     "narrative and the registry)"))
 
 
+def check_raw_mutex(root, violations):
+    for path in iter_code_files(root, ("src",)):
+        rel = path.relative_to(root).as_posix()
+        if rel in RAW_MUTEX_ALLOWLIST:
+            continue
+        raw_lines = path.read_text().split("\n")
+        stripped = strip_comments(path.read_text()).split("\n")
+        for i, line in enumerate(stripped, 1):
+            if RAW_MUTEX_PATTERN.search(line):
+                if RAW_MUTEX_ANNOTATION.search(raw_lines[i - 1]):
+                    continue
+                violations.append(Violation(
+                    rel, i, "raw-mutex",
+                    "raw std::mutex-family primitive; use util::Mutex / "
+                    "util::MutexLock / util::CondVar (src/util/mutex.h) so "
+                    "the thread-safety analysis sees the capability "
+                    "(or annotate: lint: allow-raw-mutex(<reason>))"))
+
+
+def check_mutex_guards(root, violations):
+    """A declared util::Mutex must be referenced by at least one GUARDED_BY /
+    PT_GUARDED_BY / REQUIRES annotation in the same file. EXCLUDES alone
+    does not count: it says callers must not hold the lock, but never ties
+    the lock to any state, which is exactly the drift this rule exists to
+    catch."""
+    for path in iter_code_files(root, ("src",)):
+        rel = path.relative_to(root).as_posix()
+        if rel in RAW_MUTEX_ALLOWLIST:
+            continue
+        stripped = strip_comments(path.read_text())
+        for i, line in enumerate(stripped.split("\n"), 1):
+            for match in MUTEX_MEMBER_PATTERN.finditer(line):
+                name = match.group(1)
+                peer = re.compile(
+                    r"(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\("
+                    r"[^)]*\b" + re.escape(name) + r"\b[^)]*\)")
+                if not peer.search(stripped):
+                    violations.append(Violation(
+                        rel, i, "mutex-guards",
+                        f'util::Mutex "{name}" has no GUARDED_BY / '
+                        "PT_GUARDED_BY / REQUIRES peer in this file; "
+                        "annotate the state it protects (DESIGN.md §13) "
+                        "or delete the dead lock"))
+
+
+def check_lock_order(root, design_text, violations):
+    """Every lock the DESIGN.md §13 table names must exist in src/ under
+    the same class/member spelling: some single file must mention both the
+    class's last path component and the member as whole words. Catches
+    renames that would silently orphan the documented hierarchy."""
+    match = LOCK_SECTION.search(design_text)
+    if not match:
+        return
+    file_texts = [
+        strip_comments(p.read_text())
+        for p in iter_code_files(root, ("src",))]
+    first_line = design_text[:match.start(1)].count("\n") + 1
+    for i, line in enumerate(match.group(1).split("\n"), first_line):
+        row = LOCK_TABLE_ROW.match(line)
+        if not row or "::" not in row.group(1):
+            continue
+        token = row.group(1)
+        prefix, _, member = token.rpartition("::")
+        cls = prefix.rpartition("::")[2]
+        cls_re = re.compile(r"\b" + re.escape(cls) + r"\b")
+        member_re = re.compile(r"\b" + re.escape(member) + r"\b")
+        if not any(cls_re.search(t) and member_re.search(t)
+                   for t in file_texts):
+            violations.append(Violation(
+                "DESIGN.md", i, "lock-order",
+                f'§13 lock table names "{token}" but no src/ file mentions '
+                f"both {cls} and {member}; the documented lock hierarchy "
+                "has drifted from the code (update the table or the code)"))
+
+
 RULES = {
     "raw-io": lambda root, design, v: check_raw_io(root, v),
     "fault-points": check_fault_points,
@@ -333,6 +450,9 @@ RULES = {
     "rng-determinism": lambda root, design, v: check_rng_determinism(root, v),
     "arch-file-map": lambda root, design, v: check_arch_file_map(root, v),
     "batching-metrics": check_batching_metrics,
+    "raw-mutex": lambda root, design, v: check_raw_mutex(root, v),
+    "mutex-guards": lambda root, design, v: check_mutex_guards(root, v),
+    "lock-order": check_lock_order,
 }
 
 

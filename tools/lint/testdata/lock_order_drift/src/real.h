@@ -1,0 +1,22 @@
+// Fixture support file: the `Real::mu_` row of the §13 table resolves to
+// this file, so only the seeded `Ghost::mu_` row is a violation.
+#ifndef INFUSERKI_REAL_H_
+#define INFUSERKI_REAL_H_
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace infuserki {
+
+class Real {
+ public:
+  void Touch();
+
+ private:
+  mutable util::Mutex mu_;
+  int epoch_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace infuserki
+
+#endif  // INFUSERKI_REAL_H_

@@ -1,0 +1,19 @@
+// Fixture: seeds exactly one raw-mutex violation — a raw std::mutex where
+// the annotated util::Mutex wrapper is required (DESIGN.md §13).
+#include <mutex>
+
+namespace infuserki {
+
+class Worker {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // violation: invisible to the thread-safety analysis
+  int count_ = 0;
+};
+
+}  // namespace infuserki

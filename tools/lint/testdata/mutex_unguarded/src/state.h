@@ -1,0 +1,21 @@
+// Fixture: seeds exactly one mutex-guards violation — a util::Mutex with
+// no GUARDED_BY / PT_GUARDED_BY / REQUIRES peer anywhere in the file.
+#ifndef INFUSERKI_STATE_H_
+#define INFUSERKI_STATE_H_
+
+#include "util/mutex.h"
+
+namespace infuserki {
+
+class State {
+ public:
+  void Touch();
+
+ private:
+  mutable util::Mutex mu_;  // violation: guards nothing the analysis knows
+  int epoch_ = 0;
+};
+
+}  // namespace infuserki
+
+#endif  // INFUSERKI_STATE_H_
