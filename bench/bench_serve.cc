@@ -12,6 +12,11 @@
 // Flags: --batch_sweep=1,2,4,8 (comma list of max_batch_rows)
 // --max_batch_tokens=256 --requests=96 --queue=32 --kv_budget=64
 // --max_new=8 --deadline_ms=0 (0 = none) --seed=17
+// --arrival=closed|poisson|burst (closed = flood everything up front;
+// poisson/burst pace submissions open-loop at --offered_qps from the
+// seeded RNG — poisson draws exponential gaps, burst sends groups of 16
+// back-to-back — and additionally report offered vs achieved qps plus the
+// mean brownout level observed while the round ran, DESIGN.md §14)
 // --bench_json=<path> (SLO trajectory output, e.g. BENCH_serve.json;
 // appended as one NDJSON line per run so the file accumulates a
 // trajectory across commits) plus the shared --trace_out / --metrics_out /
@@ -24,6 +29,7 @@
 // bucket, printed as the "serve_quantiles=ok" gate line.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -32,6 +38,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -100,6 +107,12 @@ struct RoundResult {
   double inter_token_p50_ms = 0.0;
   double inter_token_p99_ms = 0.0;
   double req_per_s = 0.0;
+  // Open-loop fields (zero in the closed-loop default): the offered
+  // arrival rate, the rate the server actually sustained, and the mean
+  // brownout level sampled by the watchdog while the round ran.
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double brownout_mean_level = 0.0;
 };
 
 std::string RoundJson(const RoundResult& round) {
@@ -117,7 +130,10 @@ std::string RoundJson(const RoundResult& round) {
       .AddNumber("ttft_p99_ms", round.ttft_p99_ms)
       .AddNumber("inter_token_p50_ms", round.inter_token_p50_ms)
       .AddNumber("inter_token_p99_ms", round.inter_token_p99_ms)
-      .AddNumber("req_per_s", round.req_per_s);
+      .AddNumber("req_per_s", round.req_per_s)
+      .AddNumber("offered_qps", round.offered_qps)
+      .AddNumber("achieved_qps", round.achieved_qps)
+      .AddNumber("brownout_mean_level", round.brownout_mean_level);
   return out.Finish();
 }
 
@@ -169,6 +185,19 @@ int main(int argc, char** argv) {
   const size_t max_new = static_cast<size_t>(flags.GetInt("max_new", 8));
   const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
   const std::string bench_json = flags.GetString("bench_json", "");
+  const std::string arrival = flags.GetString("arrival", "closed");
+  const double offered_qps = flags.GetDouble("offered_qps", 0.0);
+  if (arrival != "closed" && arrival != "poisson" && arrival != "burst") {
+    std::cerr << "unknown --arrival=" << arrival
+              << " (want closed|poisson|burst)\n";
+    return 1;
+  }
+  const bool open_loop = arrival != "closed";
+  if (open_loop && offered_qps <= 0.0) {
+    std::cerr << "--arrival=" << arrival
+              << " requires --offered_qps > 0\n";
+    return 1;
+  }
 
   obs_session.manifest().AddConfig("requests",
                                    static_cast<int64_t>(requests));
@@ -213,6 +242,7 @@ int main(int argc, char** argv) {
   obs::Registry& registry = obs::Registry::Get();
   bool accounting_ok = true;
   bool quantiles_ok = true;
+  bool hints_ok = true;
   std::vector<RoundResult> rounds;
   obs::Registry::Snapshot run_before = registry.TakeSnapshot();
 
@@ -229,10 +259,38 @@ int main(int argc, char** argv) {
     options.exporter = exporter_options;
     serve::InferenceServer server(lm, tokenizer, options);
 
+    // Open-loop arrival schedule: target submit times in seconds from the
+    // round start, drawn from the seeded RNG so every run replays the same
+    // offered trace. Poisson draws exponential inter-arrival gaps at
+    // `offered_qps`; burst sends groups of 16 back-to-back, then one gap
+    // sized for the whole group (same mean rate, spiky shape).
+    util::Rng arrivals(static_cast<uint64_t>(flags.GetInt("seed", 17)) +
+                       batch_rows);
+    std::vector<double> arrival_times(requests, 0.0);
+    if (open_loop) {
+      double at = 0.0;
+      for (size_t k = 0; k < requests; ++k) {
+        arrival_times[k] = at;
+        if (arrival == "poisson") {
+          double u = arrivals.Uniform(0.0, 1.0);
+          at += -std::log(1.0 - u) / offered_qps;
+        } else if (k % 16 == 15) {
+          at += 16.0 / offered_qps * arrivals.Uniform(0.5, 1.5);
+        }
+      }
+    }
+
     util::Stopwatch watch;
     std::vector<std::future<serve::Response>> pending;
     pending.reserve(requests);
     for (size_t k = 0; k < requests; ++k) {
+      if (open_loop) {
+        // Open-loop contract: never wait on the server, only on the clock.
+        double wait_s = arrival_times[k] - watch.ElapsedSeconds();
+        if (wait_s > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+        }
+      }
       serve::Request request;
       request.prompt = prompts[k % prompts.size()];
       request.max_new_tokens = max_new;
@@ -247,6 +305,17 @@ int main(int argc, char** argv) {
       serve::Response response = future.get();
       if (response.status.ok()) {
         latencies.push_back(response.total_seconds);
+      } else if (response.status.code() ==
+                 util::StatusCode::kResourceExhausted) {
+        // Every shed response must carry a usable client backoff hint
+        // (DESIGN.md §14) — in the field and parseable from the status.
+        if (response.retry_after_seconds <= 0.0 ||
+            util::RetryAfterSeconds(response.status) <= 0.0) {
+          hints_ok = false;
+          std::cerr << "shed response without retry_after hint at "
+                       "batch_rows="
+                    << batch_rows << ": " << response.status << "\n";
+        }
       }
     }
     double elapsed = watch.ElapsedSeconds();
@@ -323,6 +392,16 @@ int main(int argc, char** argv) {
     round.inter_token_p50_ms = inter_token.p50 * 1e3;
     round.inter_token_p99_ms = inter_token.p99 * 1e3;
     round.req_per_s = throughput;
+    if (open_loop) {
+      round.offered_qps = offered_qps;
+      round.achieved_qps = throughput;
+      obs::HistogramStats brownout = HistogramDelta(
+          round_before, round_after, "serve/brownout_level_samples");
+      round.brownout_mean_level =
+          brownout.count > 0
+              ? brownout.sum / static_cast<double>(brownout.count)
+              : 0.0;
+    }
     rounds.push_back(round);
 
     table.AddRow({std::to_string(batch_rows), std::to_string(completed),
@@ -345,7 +424,17 @@ int main(int argc, char** argv) {
               << " ttft_p50_ms=" << util::FormatFloat(round.ttft_p50_ms, 3)
               << " inter_token_p50_ms="
               << util::FormatFloat(round.inter_token_p50_ms, 3)
-              << " req_per_s=" << util::FormatFloat(throughput, 1) << "\n";
+              << " req_per_s=" << util::FormatFloat(throughput, 1);
+    if (open_loop) {
+      std::cout << " arrival=" << arrival << " offered_qps="
+                << util::FormatFloat(round.offered_qps, 1)
+                << " achieved_qps="
+                << util::FormatFloat(round.achieved_qps, 1)
+                << " shed_rate=" << util::FormatFloat(round.shed_rate, 3)
+                << " brownout_mean_level="
+                << util::FormatFloat(round.brownout_mean_level, 3);
+    }
+    std::cout << "\n";
 
     // Published per batch width under the bench_* glob (DESIGN.md §6) so
     // --metrics_out manifests carry the headline numbers; later rounds
@@ -369,6 +458,7 @@ int main(int argc, char** argv) {
             << "\n";
   std::cout << "serve_quantiles=" << (quantiles_ok ? "ok" : "FAILED")
             << "\n";
+  std::cout << "serve_shed_hints=" << (hints_ok ? "ok" : "FAILED") << "\n";
 
   // Continuous-batching headline: throughput at the widest batch in the
   // sweep over the sequential baseline (the batch_rows=1 round). Printed
@@ -407,7 +497,9 @@ int main(int argc, char** argv) {
         .AddUint("kv_budget", kv_budget)
         .AddUint("max_new", max_new)
         .AddUint("max_batch_tokens", max_batch_tokens)
-        .AddInt("deadline_ms", deadline_ms);
+        .AddInt("deadline_ms", deadline_ms)
+        .AddString("arrival", arrival)
+        .AddNumber("offered_qps", offered_qps);
     std::ostringstream rounds_json;
     rounds_json << "[";
     for (size_t i = 0; i < rounds.size(); ++i) {
@@ -416,8 +508,10 @@ int main(int argc, char** argv) {
     }
     rounds_json << "]";
     obs::JsonWriter out;
+    // Schema 3: rounds carry offered_qps/achieved_qps/brownout_mean_level
+    // and the slo block the per-reason shed + watchdog counters (§14).
     out.AddString("bench", "bench_serve")
-        .AddUint("schema", 2)
+        .AddUint("schema", 3)
         .AddRaw("config", config_json.Finish())
         .AddNumber("batched_speedup", batched_speedup)
         .AddRaw("rounds", rounds_json.str())
@@ -441,5 +535,5 @@ int main(int argc, char** argv) {
     }
   }
   obs_session.Finish();
-  return (accounting_ok && quantiles_ok) ? 0 : 1;
+  return (accounting_ok && quantiles_ok && hints_ok) ? 0 : 1;
 }

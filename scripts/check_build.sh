@@ -172,6 +172,7 @@ rm -f "$SERVE_JSON" "$SERVE_NDJSON"
 INFUSERKI_FAULTS="serve/decode_step=prob:0.05:7;serve/prefill=prob:0.1:3;serve/tokenize=fail@11;io/atomic_write=prob:0.5:3" \
   "$SMOKE_DIR/bench/bench_serve" \
   --batch_sweep=1,4 --requests=64 --kv_budget=8 \
+  --arrival=burst --offered_qps=500 \
   --bench_json="$SERVE_JSON" \
   --metrics_export_every=20 \
   --metrics_export_ndjson="$SERVE_NDJSON" | tee "$SERVE_OUT"
@@ -183,6 +184,10 @@ grep -q '^serve_quantiles=ok$' "$SERVE_OUT" || {
   echo "FAIL: obs-derived quantiles diverged from the sorted reference" >&2
   exit 1
 }
+grep -q '^serve_shed_hints=ok$' "$SERVE_OUT" || {
+  echo "FAIL: a shed response was missing its retry_after hint" >&2
+  exit 1
+}
 test -s "$SERVE_NDJSON" || {
   echo "FAIL: live exporter left no NDJSON stream at $SERVE_NDJSON" >&2
   exit 1
@@ -192,25 +197,30 @@ if command -v python3 > /dev/null 2>&1; then
 import json, sys
 # The SLO file is an NDJSON trajectory: one JSON object per line, newest
 # last. Every line must parse; the line this smoke just appended (the
-# last) must be a schema-2 batch-sweep record.
+# last) must be a schema-3 batch-sweep record (open-loop arrival fields
+# plus the overload-control SLO counters, DESIGN.md §14).
 with open(sys.argv[1]) as f:
     lines = [json.loads(line) for line in f if line.strip()]
 assert lines, "trajectory must be non-empty"
 bench = lines[-1]
 assert bench.get("bench") == "bench_serve", bench.get("bench")
-assert bench.get("schema") == 2, bench.get("schema")
+assert bench.get("schema") == 3, bench.get("schema")
 for key in ("requests", "queue", "kv_budget", "max_new",
-            "max_batch_tokens"):
+            "max_batch_tokens", "arrival", "offered_qps"):
     assert key in bench["config"], f"config missing {key!r}"
 assert bench["rounds"], "rounds must be non-empty"
 for row in bench["rounds"]:
     for key in ("batch_rows", "completed", "shed", "shed_rate",
                 "p50_ms", "p99_ms", "p999_ms", "ttft_p50_ms",
-                "inter_token_p50_ms", "req_per_s"):
+                "inter_token_p50_ms", "req_per_s", "offered_qps",
+                "achieved_qps", "brownout_mean_level"):
         assert key in row, f"round missing {key!r}"
 assert "batched_speedup" in bench, "missing batched_speedup"
 slo = bench["slo"]
-for key in ("requests", "shed_rate", "e2e", "ttft", "inter_token"):
+for key in ("requests", "shed_rate", "e2e", "ttft", "inter_token",
+            "shed_queue_full", "shed_tenant_cap", "shed_rate_limited",
+            "shed_brownout", "shed_infeasible", "watchdog_stalls",
+            "watchdog_recoveries", "brownout_mean_level"):
     assert key in slo, f"slo missing {key!r}"
 for key in ("count", "p50_ms", "p99_ms", "p999_ms"):
     assert key in slo["e2e"], f"slo.e2e missing {key!r}"
@@ -253,10 +263,11 @@ cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$TSAN_DIR" -j --target \
   race_stress_test threadpool_test kv_cache_test obs_test \
   obs_exporter_test serve_test serve_chaos_test batched_decode_test \
-  adapter_registry_test
+  adapter_registry_test admission_test
 for tsan_test in race_stress_test threadpool_test kv_cache_test obs_test \
                  obs_exporter_test serve_test serve_chaos_test \
-                 batched_decode_test adapter_registry_test; do
+                 batched_decode_test adapter_registry_test \
+                 admission_test; do
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$(pwd)/tsan.supp" \
     "$TSAN_DIR/tests/$tsan_test"
 done

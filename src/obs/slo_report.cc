@@ -37,6 +37,21 @@ SloLatency LatencyDelta(const Registry::Snapshot& before,
   return latency;
 }
 
+/// Mean of a histogram's window delta in its native unit (no ms scaling) —
+/// used for the brownout-level occupancy summary.
+double HistogramMeanDelta(const Registry::Snapshot& before,
+                          const Registry::Snapshot& after,
+                          const std::string& name) {
+  auto after_it = after.histograms.find(name);
+  if (after_it == after.histograms.end()) return 0.0;
+  auto before_it = before.histograms.find(name);
+  HistogramStats delta =
+      before_it == before.histograms.end()
+          ? after_it->second
+          : SubtractHistogramStats(after_it->second, before_it->second);
+  return delta.count > 0 ? delta.mean : 0.0;
+}
+
 std::string LatencyJson(const SloLatency& latency) {
   JsonWriter out;
   out.AddUint("count", latency.count)
@@ -63,6 +78,21 @@ SloReport BuildSloReport(const Registry::Snapshot& before,
   report.failures = CounterDelta(before, after, "serve/failures");
   report.degraded = CounterDelta(before, after, "serve/degraded");
   report.retries = CounterDelta(before, after, "serve/retries");
+  report.shed_queue_full =
+      CounterDelta(before, after, "serve/shed_queue_full");
+  report.shed_tenant_cap =
+      CounterDelta(before, after, "serve/shed_tenant_cap");
+  report.shed_rate_limited =
+      CounterDelta(before, after, "serve/shed_rate_limited");
+  report.shed_brownout = CounterDelta(before, after, "serve/shed_brownout");
+  report.shed_infeasible =
+      CounterDelta(before, after, "serve/shed_infeasible");
+  report.watchdog_stalls =
+      CounterDelta(before, after, "serve/watchdog_stalls");
+  report.watchdog_recoveries =
+      CounterDelta(before, after, "serve/watchdog_recoveries");
+  report.brownout_mean_level =
+      HistogramMeanDelta(before, after, "serve/brownout_level_samples");
   if (report.requests > 0) {
     double requests = static_cast<double>(report.requests);
     report.shed_rate = static_cast<double>(report.shed) / requests;
@@ -88,6 +118,14 @@ std::string SloReportJson(const SloReport& report) {
       .AddUint("failures", report.failures)
       .AddUint("degraded", report.degraded)
       .AddUint("retries", report.retries)
+      .AddUint("shed_queue_full", report.shed_queue_full)
+      .AddUint("shed_tenant_cap", report.shed_tenant_cap)
+      .AddUint("shed_rate_limited", report.shed_rate_limited)
+      .AddUint("shed_brownout", report.shed_brownout)
+      .AddUint("shed_infeasible", report.shed_infeasible)
+      .AddUint("watchdog_stalls", report.watchdog_stalls)
+      .AddUint("watchdog_recoveries", report.watchdog_recoveries)
+      .AddNumber("brownout_mean_level", report.brownout_mean_level)
       .AddNumber("shed_rate", report.shed_rate)
       .AddNumber("deadline_miss_rate", report.deadline_miss_rate)
       .AddRaw("e2e", LatencyJson(report.e2e))

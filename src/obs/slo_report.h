@@ -31,6 +31,19 @@ struct SloReport {
   uint64_t failures = 0;
   uint64_t degraded = 0;
   uint64_t retries = 0;
+  // Shed sub-reasons (sum to `shed`; DESIGN.md §14 overload control).
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_tenant_cap = 0;
+  uint64_t shed_rate_limited = 0;
+  uint64_t shed_brownout = 0;
+  uint64_t shed_infeasible = 0;
+  // Self-healing: stalls declared by the watchdog, and batches it failed
+  // over so the scheduler could keep serving.
+  uint64_t watchdog_stalls = 0;
+  uint64_t watchdog_recoveries = 0;
+  // Mean brownout level over the window (area under the degradation
+  // curve / watchdog ticks): 0 = never browned out.
+  double brownout_mean_level = 0.0;
   double shed_rate = 0.0;           // shed / requests
   double deadline_miss_rate = 0.0;  // deadline_misses / requests
   SloLatency e2e;         // admission → completion, OK outcomes only

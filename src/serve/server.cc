@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -26,9 +28,19 @@ struct ServeMetrics {
   obs::Counter* prefix_hits;
   obs::Counter* prefix_misses;
   obs::Counter* cancelled;
+  obs::Counter* admitted;
+  obs::Counter* shed_queue_full;
+  obs::Counter* shed_tenant_cap;
+  obs::Counter* shed_rate_limited;
+  obs::Counter* shed_brownout;
+  obs::Counter* shed_infeasible;
+  obs::Counter* brownout_transitions;
+  obs::Counter* watchdog_stalls;
+  obs::Counter* watchdog_recoveries;
   obs::Counter* swap_applied;
   obs::Counter* swap_prefix_invalidations;
   obs::Gauge* swap_active_sequence;
+  obs::Gauge* brownout_level;
   obs::Gauge* queue_depth;
   obs::Gauge* queue_depth_max;
   obs::Gauge* batch_size;
@@ -42,6 +54,7 @@ struct ServeMetrics {
   obs::Histogram* e2e_deadline_seconds;
   obs::Histogram* e2e_error_seconds;
   obs::Histogram* queue_depth_samples;
+  obs::Histogram* brownout_level_samples;
 };
 
 ServeMetrics& Metrics() {
@@ -61,9 +74,19 @@ ServeMetrics& Metrics() {
         registry.GetCounter("serve/prefix_hits"),
         registry.GetCounter("serve/prefix_misses"),
         registry.GetCounter("serve/cancelled"),
+        registry.GetCounter("serve/admitted"),
+        registry.GetCounter("serve/shed_queue_full"),
+        registry.GetCounter("serve/shed_tenant_cap"),
+        registry.GetCounter("serve/shed_rate_limited"),
+        registry.GetCounter("serve/shed_brownout"),
+        registry.GetCounter("serve/shed_infeasible"),
+        registry.GetCounter("serve/brownout_transitions"),
+        registry.GetCounter("serve/watchdog_stalls"),
+        registry.GetCounter("serve/watchdog_recoveries"),
         registry.GetCounter("serve/swap_applied"),
         registry.GetCounter("serve/swap_prefix_invalidations"),
         registry.GetGauge("serve/swap_active_sequence"),
+        registry.GetGauge("serve/brownout_level"),
         registry.GetGauge("serve/queue_depth"),
         registry.GetGauge("serve/queue_depth_max"),
         registry.GetGauge("serve/batch_size"),
@@ -76,7 +99,8 @@ ServeMetrics& Metrics() {
         registry.GetHistogram("serve/e2e_ok_seconds"),
         registry.GetHistogram("serve/e2e_deadline_seconds"),
         registry.GetHistogram("serve/e2e_error_seconds"),
-        registry.GetHistogram("serve/queue_depth_samples")};
+        registry.GetHistogram("serve/queue_depth_samples"),
+        registry.GetHistogram("serve/brownout_level_samples")};
   }();
   return *metrics;
 }
@@ -99,7 +123,164 @@ std::vector<float> LastRow(const tensor::Tensor& logits) {
   return std::vector<float>(row, row + vocab);
 }
 
+/// Maps a tenant id onto the metric-name alphabet (and empty onto
+/// "default") so arbitrary client strings cannot mint malformed or
+/// colliding-by-accident metric names.
+std::string SanitizeTenant(const std::string& tenant) {
+  std::string name = tenant.empty() ? "default" : tenant;
+  for (char& c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+              c == '-';
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+struct TenantCounters {
+  obs::Counter* admitted;
+  obs::Counter* shed;
+};
+
+/// Resolves the per-tenant admit/shed counters under the documented
+/// `serve/tenant/<tenant>/...` prefix (DESIGN.md §6). Takes the registry
+/// lock — callers must resolve BEFORE acquiring the server's mu_ (§13).
+TenantCounters TenantCountersFor(const std::string& tenant) {
+  obs::Registry& registry = obs::Registry::Get();
+  std::string name = SanitizeTenant(tenant);
+  return {registry.GetCounter("serve/tenant/" + name + "/admitted"),
+          registry.GetCounter("serve/tenant/" + name + "/shed")};
+}
+
+/// Pre-tokenization prompt-size estimate for feasibility shedding. The
+/// word-level tokenizer emits roughly one id per whitespace-separated word
+/// (plus specials), so a split count is accurate enough for an admission
+/// estimate without paying (or fault-injecting) real tokenization.
+size_t EstimatePromptTokens(const std::string& prompt) {
+  size_t tokens = 1;  // slack for special tokens
+  bool in_word = false;
+  for (char c : prompt) {
+    bool space = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (!space && !in_word) ++tokens;
+    in_word = !space;
+  }
+  return tokens;
+}
+
+obs::Counter* ShedReasonCounter(ServeMetrics& metrics, ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return metrics.shed_queue_full;
+    case ShedReason::kTenantCap:
+      return metrics.shed_tenant_cap;
+    case ShedReason::kRateLimited:
+      return metrics.shed_rate_limited;
+    case ShedReason::kBrownout:
+      return metrics.shed_brownout;
+    case ShedReason::kDeadlineInfeasible:
+      return metrics.shed_infeasible;
+    case ShedReason::kNone:
+      break;
+  }
+  return metrics.shed_queue_full;  // unreachable; keeps the switch total
+}
+
 }  // namespace
+
+util::Status ValidateServeOptions(const ServeOptions& options) {
+  auto invalid = [](std::string msg) {
+    return util::Status::InvalidArgument(std::move(msg));
+  };
+  if (options.max_batch_rows == 0) {
+    return invalid("ServeOptions::max_batch_rows must be >= 1");
+  }
+  if (options.max_batch_tokens == 0) {
+    return invalid("ServeOptions::max_batch_tokens must be >= 1");
+  }
+  if (options.queue_capacity == 0) {
+    return invalid(
+        "ServeOptions::queue_capacity must be >= 1 (0 would shed every "
+        "request)");
+  }
+  if (options.default_deadline.count() < 0) {
+    return invalid("ServeOptions::default_deadline must be >= 0");
+  }
+  if (options.drain_deadline.count() < 0) {
+    return invalid("ServeOptions::drain_deadline must be >= 0");
+  }
+  if (options.retry.max_attempts < 1) {
+    return invalid("ServeOptions::retry.max_attempts must be >= 1");
+  }
+  if (options.retry.base_delay_ms < 0) {
+    return invalid("ServeOptions::retry.base_delay_ms must be >= 0");
+  }
+  if (options.retry.multiplier < 1.0) {
+    return invalid("ServeOptions::retry.multiplier must be >= 1");
+  }
+  if (options.exporter.period.count() < 0) {
+    return invalid("ServeOptions::exporter.period must be >= 0");
+  }
+  if (options.exporter.period.count() > 0 &&
+      options.exporter.window_seconds <= 0.0) {
+    return invalid(
+        "ServeOptions::exporter.window_seconds must be > 0 when the "
+        "exporter runs");
+  }
+  if (options.exporter.period.count() == 0 && options.exporter.on_tick) {
+    return invalid(
+        "ServeOptions::exporter.on_tick is set but exporter.period is 0: "
+        "the tick (and its window sampling) would never run");
+  }
+  if (options.admission.quantum <= 0.0) {
+    return invalid("ServeOptions::admission.quantum must be > 0");
+  }
+  auto check_policy = [&](const std::string& who,
+                          const TenantPolicy& policy) {
+    if (policy.weight <= 0.0) {
+      return invalid("ServeOptions::admission " + who +
+                     ": weight must be > 0");
+    }
+    if (policy.rate_qps < 0.0) {
+      return invalid("ServeOptions::admission " + who +
+                     ": rate_qps must be >= 0");
+    }
+    if (policy.burst < 0.0) {
+      return invalid("ServeOptions::admission " + who +
+                     ": burst must be >= 0");
+    }
+    return util::Status::OK();
+  };
+  RETURN_IF_ERROR(
+      check_policy("default_policy", options.admission.default_policy));
+  for (const auto& [name, policy] : options.admission.tenants) {
+    RETURN_IF_ERROR(check_policy("tenant \"" + name + "\"", policy));
+  }
+  if (options.brownout.enter_occupancy <= options.brownout.exit_occupancy) {
+    return invalid(
+        "ServeOptions::brownout hysteresis inverted: enter_occupancy must "
+        "exceed exit_occupancy");
+  }
+  if (options.brownout.enter_ticks < 1 || options.brownout.exit_ticks < 1) {
+    return invalid(
+        "ServeOptions::brownout enter_ticks/exit_ticks must be >= 1");
+  }
+  if (options.brownout.clamp_max_new_tokens == 0) {
+    return invalid(
+        "ServeOptions::brownout.clamp_max_new_tokens must be >= 1");
+  }
+  if (options.brownout.retry_after_s <= 0.0) {
+    return invalid("ServeOptions::brownout.retry_after_s must be > 0");
+  }
+  if (options.feasibility_margin < 0.0) {
+    return invalid("ServeOptions::feasibility_margin must be >= 0");
+  }
+  if (options.watchdog_interval.count() <= 0) {
+    return invalid("ServeOptions::watchdog_interval must be > 0");
+  }
+  if (options.watchdog_stall_timeout.count() < 0) {
+    return invalid("ServeOptions::watchdog_stall_timeout must be >= 0");
+  }
+  return util::Status::OK();
+}
 
 InferenceServer::InferenceServer(const model::TransformerLM& lm,
                                  const text::Tokenizer& tokenizer,
@@ -107,9 +288,19 @@ InferenceServer::InferenceServer(const model::TransformerLM& lm,
     : lm_(lm),
       tokenizer_(tokenizer),
       options_(std::move(options)),
-      cache_(options_.kv_budget_tokens) {
+      cache_(options_.kv_budget_tokens),
+      brownout_(options_.brownout),
+      admission_(options_.admission, options_.queue_capacity) {
+  init_status_ = ValidateServeOptions(options_);
+  if (!init_status_.ok()) {
+    // Fail fast: no threads, no exporter. Every Submit() resolves with
+    // init_status_ and Shutdown() degenerates to a no-op.
+    LOG_WARNING << "InferenceServer not started: " << init_status_;
+    return;
+  }
   scheduler_ = std::thread(&InferenceServer::SchedulerLoop, this);
   fallback_ = std::thread(&InferenceServer::FallbackLoop, this);
+  watchdog_ = std::thread(&InferenceServer::WatchdogLoop, this);
   if (options_.exporter.period.count() > 0) {
     // The server owns the export thread and chains its queue-depth
     // sampling ahead of any caller-provided tick hook.
@@ -130,19 +321,54 @@ InferenceServer::~InferenceServer() { Shutdown(); }
 std::future<Response> InferenceServer::Submit(Request request) {
   ServeMetrics& metrics = Metrics();
   metrics.requests->Increment();
+  // Per-tenant counters resolve through the registry lock, which is never
+  // taken under mu_ (DESIGN.md §13) — so resolve them up front.
+  TenantCounters tenant = TenantCountersFor(request.tenant_id);
 
   auto job = std::make_unique<Job>();
   std::chrono::milliseconds deadline =
       request.deadline.count() > 0 ? request.deadline
                                    : options_.default_deadline;
-  job->request = std::move(request);
   job->enqueued = Clock::now();
   job->trace = obs::RequestTrace::Begin();
   if (deadline.count() > 0) job->deadline = job->enqueued + deadline;
   std::future<Response> future = job->promise.get_future();
 
+  // Deadline-infeasibility check (outside the lock — it reads only
+  // relaxed-atomic rates): a request whose minimum service-time estimate
+  // exceeds `feasibility_margin` times its budget provably cannot finish,
+  // so shed it now with the estimate as its retry hint. Zero margin (or a
+  // cold estimator, or no deadline) disables the proof.
+  double infeasible_estimate_s = 0.0;
+  if (options_.feasibility_margin > 0.0 && deadline.count() > 0) {
+    double budget_s =
+        std::chrono::duration<double>(deadline).count();
+    double estimate_s = estimator_.EstimateServiceSeconds(
+        EstimatePromptTokens(request.prompt), 1);
+    if (estimate_s > budget_s * options_.feasibility_margin) {
+      infeasible_estimate_s = estimate_s;
+    }
+  }
+  std::string tenant_id = request.tenant_id;
+  Priority priority = request.priority;
+  job->request = std::move(request);
+
+  ShedReason reason = ShedReason::kNone;
+  double hint_s = 0.0;
   {
     util::MutexLock lock(mu_);
+    if (!init_status_.ok()) {
+      // Invalid construction: the scheduler never started, so resolve
+      // here — a hung future would be strictly worse than a crisp error.
+      metrics.failures->Increment();
+      Response response;
+      response.request_id = job->trace.id();
+      response.status = init_status_;
+      job->trace.Mark("failure");
+      job->trace.End("serve/request");
+      job->promise.set_value(std::move(response));
+      return future;
+    }
     if (shutdown_started_) {
       metrics.cancelled->Increment();
       Response response;
@@ -154,25 +380,62 @@ std::future<Response> InferenceServer::Submit(Request request) {
       job->promise.set_value(std::move(response));
       return future;
     }
-    if (queue_.size() >= options_.queue_capacity) {
-      // Load shedding: reject now instead of queueing unbounded work the
-      // deadline will kill anyway.
-      metrics.shed->Increment();
-      Response response;
-      response.request_id = job->trace.id();
-      response.status = util::Status::ResourceExhausted(
-          "admission queue full (" +
-          std::to_string(options_.queue_capacity) + " requests)");
-      job->trace.Mark("shed");
-      job->trace.End("serve/request");
-      job->promise.set_value(std::move(response));
-      return future;
+    if (infeasible_estimate_s > 0.0) {
+      reason = ShedReason::kDeadlineInfeasible;
+      hint_s = infeasible_estimate_s;
+    } else {
+      AdmissionController::Verdict verdict = admission_.Offer(
+          tenant_id, priority, job->enqueued, brownout_.level());
+      reason = verdict.reason;
+      if (reason == ShedReason::kNone) {
+        admission_.Push(AdmissionController::Entry{std::move(job),
+                                                   tenant_id, priority});
+        metrics.queue_depth->Set(static_cast<double>(admission_.size()));
+        metrics.queue_depth_max->UpdateMax(
+            static_cast<double>(admission_.size()));
+      } else {
+        hint_s = verdict.retry_after_s;
+      }
     }
-    queue_.push_back(std::move(job));
-    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
-    metrics.queue_depth_max->UpdateMax(
-        static_cast<double>(queue_.size()));
   }
+  if (reason != ShedReason::kNone) {
+    // Targeted load shedding: reject now — and tell the client when a
+    // retry has a chance. Rate-limit sheds carry the exact bucket refill
+    // time; capacity sheds a queue-drain estimate; brownout sheds the
+    // level-scaled backoff; infeasible sheds the service-time estimate.
+    switch (reason) {
+      case ShedReason::kBrownout:
+        hint_s = options_.brownout.retry_after_s *
+                 static_cast<double>(std::max(1, brownout_.level()));
+        break;
+      case ShedReason::kQueueFull:
+      case ShedReason::kTenantCap: {
+        double drain_s = estimator_.request_seconds();
+        hint_s = drain_s > 0.0 ? drain_s : 0.05;
+        break;
+      }
+      default:
+        break;  // rate-limited / infeasible: hint already set
+    }
+    hint_s = std::max(hint_s, 0.001);
+    metrics.shed->Increment();
+    ShedReasonCounter(metrics, reason)->Increment();
+    tenant.shed->Increment();
+    Response response;
+    response.request_id = job->trace.id();
+    response.retry_after_seconds = hint_s;
+    response.status = util::WithRetryAfter(
+        util::Status::ResourceExhausted(
+            std::string("shed (") + ShedReasonName(reason) + "), tenant " +
+            SanitizeTenant(tenant_id)),
+        hint_s);
+    job->trace.Mark("shed");
+    job->trace.End("serve/request");
+    job->promise.set_value(std::move(response));
+    return future;
+  }
+  tenant.admitted->Increment();
+  metrics.admitted->Increment();
   work_ready_.NotifyOne();
   return future;
 }
@@ -182,7 +445,7 @@ Response InferenceServer::Run(Request request) {
 }
 
 void InferenceServer::Shutdown() {
-  std::deque<std::unique_ptr<Job>> orphaned;
+  std::vector<AdmissionController::Entry> orphaned;
   {
     util::MutexLock lock(mu_);
     if (!shutdown_started_) {
@@ -195,14 +458,15 @@ void InferenceServer::Shutdown() {
         draining_.store(true, std::memory_order_release);
       } else {
         shutting_down_.store(true, std::memory_order_relaxed);
-        orphaned.swap(queue_);
+        orphaned = admission_.DrainAll();
         Metrics().queue_depth->Set(0.0);
       }
     }
   }
   work_ready_.NotifyAll();
   fallback_ready_.NotifyAll();
-  for (std::unique_ptr<Job>& job : orphaned) {
+  for (AdmissionController::Entry& entry : orphaned) {
+    std::unique_ptr<Job> job(static_cast<Job*>(entry.item.release()));
     Metrics().cancelled->Increment();
     Response response;
     response.request_id = job->trace.id();
@@ -222,6 +486,12 @@ void InferenceServer::Shutdown() {
   }
   fallback_ready_.NotifyAll();
   if (fallback_.joinable()) fallback_.join();
+  {
+    util::MutexLock lock(mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.NotifyAll();
+  if (watchdog_.joinable()) watchdog_.join();
   // After the last request resolved: one final flush so short-lived
   // servers still leave a complete record, then the thread stops.
   if (exporter_ != nullptr) exporter_->Stop();
@@ -279,7 +549,7 @@ std::shared_ptr<const AdapterVersion> InferenceServer::CurrentVersion()
 
 size_t InferenceServer::queue_depth() const {
   util::MutexLock lock(mu_);
-  return queue_.size();
+  return admission_.size();
 }
 
 void InferenceServer::NoteToken(Flight* flight) {
@@ -315,6 +585,9 @@ void InferenceServer::Deliver(Flight* flight, util::Status status) {
           static_cast<double>(response.tokens.size()));
       metrics.completed->Increment();
       metrics.e2e_ok_seconds->Record(response.total_seconds);
+      // Completed processing times feed the queue-drain estimate behind
+      // capacity-shed retry hints.
+      estimator_.ObserveRequest(processing);
       break;
     case util::StatusCode::kDeadlineExceeded:
       metrics.deadline_misses->Increment();
@@ -339,10 +612,13 @@ void InferenceServer::Deliver(Flight* flight, util::Status status) {
 util::Status InferenceServer::RetryStep(
     Flight* flight, const std::function<util::Status()>& step,
     const std::string& what) {
-  // Per-request retry policy: the request deadline bounds the whole
-  // backoff loop, so retries can never outlive the request they serve.
-  util::RetryOptions retry = options_.retry;
-  retry.deadline = flight->job->deadline;
+  // Per-request retry policy: the request deadline is MERGED into any
+  // configured server-wide retry deadline (earliest bound wins), so the
+  // backoff loop can outlive neither the request it serves nor the
+  // server's own policy. A plain assignment here once let a no-deadline
+  // request erase the configured bound — hence BoundDeadline.
+  util::RetryOptions retry =
+      util::BoundDeadline(options_.retry, flight->job->deadline);
   int attempts = 0;
   util::Status status = util::RetryWithBackoff(
       [&] {
@@ -358,13 +634,15 @@ util::Status InferenceServer::RetryStep(
   return status;
 }
 
-bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
+bool InferenceServer::AdmitOne(AdmissionController::Entry entry,
                                model::BatchedDecodeSession* session,
                                std::vector<std::unique_ptr<Flight>>* rows,
                                size_t* step_tokens) {
   ServeMetrics& metrics = Metrics();
   auto flight = std::make_unique<Flight>();
-  flight->job = std::move(job);
+  // The admission queue stores jobs behind the polymorphic Item base; the
+  // server is the only pusher, so the downcast is exact.
+  flight->job.reset(static_cast<Job*>(entry.item.release()));
   Job* j = flight->job.get();
   flight->response.request_id = j->trace.id();
   flight->response.retries = j->carried_retries;
@@ -421,6 +699,17 @@ bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
                        ? j->request.max_new_tokens
                        : options_.default_max_new_tokens;
   max_new = std::min(max_new, max_seq - j->prompt_ids.size());
+  if (brownout_.level() >= kBrownoutClampLevel && max_new > 0) {
+    // Brownout level 1+: clamp the decode budget so each admitted request
+    // costs a bounded number of steps (DESIGN.md §14). Applied at
+    // admission — an already-admitted row keeps its original budget.
+    size_t clamp =
+        std::max<size_t>(1, options_.brownout.clamp_max_new_tokens);
+    if (max_new > clamp) {
+      max_new = clamp;
+      j->trace.Mark("brownout_clamp");
+    }
+  }
   if (max_new == 0) {
     note_queue();
     Deliver(flight.get(), util::Status::OK());
@@ -443,16 +732,16 @@ bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
   // Lookups carry the pinned generation: a prefix prefilled under another
   // adapter version embeds that version's deltas and must never seed this
   // request's slot.
-  std::shared_ptr<const PrefixCache::Entry> entry =
+  std::shared_ptr<const PrefixCache::Entry> cached =
       cache_.Lookup(j->prompt_ids, generation);
-  size_t need = entry != nullptr ? 1 : j->prompt_ids.size();
+  size_t need = cached != nullptr ? 1 : j->prompt_ids.size();
   if (!rows->empty() && *step_tokens + need > options_.max_batch_tokens) {
     j->carried_retries = flight->response.retries;
-    std::unique_ptr<Job> back = std::move(flight->job);
+    entry.item.reset(flight->job.release());
     {
       util::MutexLock lock(mu_);
-      queue_.push_front(std::move(back));
-      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+      admission_.Defer(std::move(entry));
+      metrics.queue_depth->Set(static_cast<double>(admission_.size()));
     }
     return false;
   }
@@ -460,15 +749,15 @@ bool InferenceServer::AdmitOne(std::unique_ptr<Job> job,
   note_queue();
   flight->prompt_ids = j->prompt_ids;
   flight->max_new = max_new;
-  if (entry != nullptr) {
+  if (cached != nullptr) {
     metrics.prefix_hits->Increment();
     flight->response.prefix_hit = true;
     j->trace.Mark("prefix_hit");
     flight->slot = session->AcquireSlot();
-    session->Restore(flight->slot, entry->pages);
-    flight->next_row = entry->last_row;
+    session->Restore(flight->slot, cached->pages);
+    flight->next_row = cached->last_row;
     flight->prefilled = true;
-    flight->cache_entry = std::move(entry);
+    flight->cache_entry = std::move(cached);
   } else {
     metrics.prefix_misses->Increment();
     util::Status prefill_status = RetryStep(
@@ -510,31 +799,42 @@ void InferenceServer::DegradeToFallback(std::unique_ptr<Flight> flight) {
 void InferenceServer::SchedulerLoop() {
   tensor::NoGradGuard no_grad;
   ServeMetrics& metrics = Metrics();
-  model::BatchedDecodeSession session(
+  // The decode session lives behind a unique_ptr so watchdog recovery can
+  // rebuild it from scratch after a stalled step (DESIGN.md §14).
+  auto session = std::make_unique<model::BatchedDecodeSession>(
       lm_, std::max<size_t>(1, options_.max_batch_rows));
   std::vector<std::unique_ptr<Flight>> rows;
   const size_t max_seq = lm_.config().max_seq_len;
   const size_t vocab = lm_.config().vocab_size;
 
   // Parks a retiring row's prompt-boundary pages in the prefix cache.
+  // Brownout level 2+ bypasses the write: lookups still serve existing
+  // entries, but no new snapshots are taken or inserted under pressure.
   auto park = [&](Flight* f) {
     if (f->cache_entry == nullptr) return;
+    if (brownout_.level() >= kBrownoutBypassCacheLevel) return;
     if (cache_.Insert(f->cache_entry) > 0) f->job->trace.Mark("cache_evict");
   };
   auto release = [&](std::unique_ptr<Flight>* slot_owner) {
-    session.ReleaseSlot((*slot_owner)->slot);
+    session->ReleaseSlot((*slot_owner)->slot);
     slot_owner->reset();
   };
 
   while (true) {
+    // Heartbeat: advances once per loop iteration. The watchdog declares a
+    // stall when it freezes while rows are in flight or work is queued.
+    heartbeat_seq_.fetch_add(1, std::memory_order_relaxed);
     {
       util::MutexLock lock(mu_);
       if (rows.empty()) {
-        while (!shutdown_started_ && queue_.empty()) work_ready_.Wait(mu_);
-        if (shutdown_started_ && queue_.empty()) {
+        while (!shutdown_started_ && admission_.empty()) {
+          work_ready_.Wait(mu_);
+        }
+        if (shutdown_started_ && admission_.empty()) {
           // Clean exit: nothing in flight, nothing queued. On a graceful
           // drain this is the zero-cancellation path — every admitted and
           // queued request already delivered.
+          inflight_rows_.store(0, std::memory_order_relaxed);
           return;
         }
       }
@@ -546,15 +846,17 @@ void InferenceServer::SchedulerLoop() {
       for (std::unique_ptr<Flight>& flight : rows) {
         Deliver(flight.get(),
                 util::Status::Cancelled("server shutting down"));
-        session.ReleaseSlot(flight->slot);
+        session->ReleaseSlot(flight->slot);
       }
       rows.clear();
-      std::deque<std::unique_ptr<Job>> orphaned;
+      inflight_rows_.store(0, std::memory_order_relaxed);
+      std::vector<AdmissionController::Entry> orphaned;
       {
         util::MutexLock lock(mu_);
-        orphaned.swap(queue_);
+        orphaned = admission_.DrainAll();
       }
-      for (std::unique_ptr<Job>& job : orphaned) {
+      for (AdmissionController::Entry& entry : orphaned) {
+        std::unique_ptr<Job> job(static_cast<Job*>(entry.item.release()));
         metrics.cancelled->Increment();
         Response response;
         response.request_id = job->trace.id();
@@ -566,21 +868,41 @@ void InferenceServer::SchedulerLoop() {
       }
       return;
     }
+    if (stall_abort_.load(std::memory_order_relaxed)) {
+      // Watchdog verdict: a step stalled (or the loop wedged past the
+      // stall timeout). The stuck batch's KV state is unrecoverable — fail
+      // every in-flight row with kUnavailable, rebuild the decode session,
+      // and keep serving: the admission queue is untouched, so queued work
+      // survives the restart (DESIGN.md §14 watchdog contract).
+      for (std::unique_ptr<Flight>& flight : rows) {
+        Deliver(flight.get(),
+                util::Status::Unavailable(
+                    "decode step stalled; batch failed by watchdog"));
+      }
+      rows.clear();
+      session = std::make_unique<model::BatchedDecodeSession>(
+          lm_, std::max<size_t>(1, options_.max_batch_rows));
+      inflight_rows_.store(0, std::memory_order_relaxed);
+      stall_abort_.store(false, std::memory_order_relaxed);
+      metrics.watchdog_recoveries->Increment();
+      continue;
+    }
 
-    // --- Admission: fill free slots from the queue head, FIFO, until the
-    // step-token budget is spent. ---------------------------------------
+    // --- Admission: fill free slots from the tiered WDRR queues until the
+    // step-token budget is spent. ----------------------------------------
     size_t step_tokens = rows.size();  // each in-flight row feeds 1 token
-    while (rows.size() < session.max_rows()) {
-      std::unique_ptr<Job> job;
+    while (rows.size() < session->max_rows()) {
+      AdmissionController::Entry entry;
       {
         util::MutexLock lock(mu_);
-        if (queue_.empty()) break;
-        job = std::move(queue_.front());
-        queue_.pop_front();
-        metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+        if (!admission_.PopNext(&entry)) break;
+        metrics.queue_depth->Set(static_cast<double>(admission_.size()));
       }
-      if (!AdmitOne(std::move(job), &session, &rows, &step_tokens)) break;
+      if (!AdmitOne(std::move(entry), session.get(), &rows, &step_tokens)) {
+        break;
+      }
     }
+    inflight_rows_.store(rows.size(), std::memory_order_relaxed);
     if (rows.empty()) continue;
 
     // --- Token selection & retirement. Mirrors the sequential decode
@@ -656,7 +978,7 @@ void InferenceServer::SchedulerLoop() {
         // Permanent mid-decode failure: this row's KV state is suspect, so
         // free its slot and restart it on the cacheless fallback thread —
         // the rest of the batch keeps decoding.
-        session.ReleaseSlot(f.slot);
+        session->ReleaseSlot(f.slot);
         DegradeToFallback(std::move(rows[i]));
         continue;
       }
@@ -667,23 +989,61 @@ void InferenceServer::SchedulerLoop() {
 
     // --- One ragged batched forward for every surviving row. ------------
     if (!inputs.empty()) {
+      // Injectable wedge (`serve/decode_stall`): models a decode step that
+      // never returns. The simulated stall MUST NOT hold mu_ — a real
+      // stuck Step() would not — so Submit() and the watchdog's occupancy
+      // reads keep working while the loop is wedged. It spins until the
+      // watchdog raises the stall verdict (or shutdown), then re-enters
+      // the loop top where recovery fails the batch. Skipping the real
+      // Step here never duplicates tokens: stalled rows are terminated,
+      // never resumed.
+      if (!FAULT_POINT("serve/decode_stall").ok()) {
+        while (!stall_abort_.load(std::memory_order_relaxed) &&
+               !HardCancel()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        // Sweep rows already retired this iteration before re-entering the
+        // loop top, where recovery walks the surviving flights.
+        rows.erase(std::remove_if(rows.begin(), rows.end(),
+                                  [](const std::unique_ptr<Flight>& f) {
+                                    return f == nullptr;
+                                  }),
+                   rows.end());
+        continue;
+      }
       metrics.batch_size->Set(static_cast<double>(inputs.size()));
-      metrics.batch_occupancy->Record(static_cast<double>(inputs.size()) /
-                                      static_cast<double>(session.max_rows()));
-      std::vector<tensor::Tensor> logits = session.Step(inputs);
+      metrics.batch_occupancy->Record(
+          static_cast<double>(inputs.size()) /
+          static_cast<double>(session->max_rows()));
+      size_t prefill_tokens = 0;
+      size_t decode_tokens = 0;
+      for (size_t j = 0; j < inputs.size(); ++j) {
+        if (rows[input_flight[j]]->prefilled) {
+          ++decode_tokens;
+        } else {
+          prefill_tokens += inputs[j].tokens.size();
+        }
+      }
+      util::Stopwatch step_watch;
+      std::vector<tensor::Tensor> logits = session->Step(inputs);
+      estimator_.ObserveStep(prefill_tokens, decode_tokens,
+                             step_watch.ElapsedSeconds());
       for (size_t j = 0; j < inputs.size(); ++j) {
         Flight& f = *rows[input_flight[j]];
         f.next_row = LastRow(logits[j]);
         if (!f.prefilled) {
           f.prefilled = true;
           // Freeze the prompt boundary for the prefix cache before any
-          // decode rows are appended to the slot.
-          auto entry = std::make_shared<PrefixCache::Entry>();
-          entry->prompt = f.prompt_ids;
-          entry->pages = session.Snapshot(f.slot);
-          entry->last_row = f.next_row;
-          entry->generation = f.response.adapter_sequence;
-          f.cache_entry = std::move(entry);
+          // decode rows are appended to the slot — unless a brownout is
+          // bypassing cache writes (the snapshot would be dropped anyway).
+          if (brownout_.level() < kBrownoutBypassCacheLevel) {
+            auto entry = std::make_shared<PrefixCache::Entry>();
+            entry->prompt = f.prompt_ids;
+            entry->pages = session->Snapshot(f.slot);
+            entry->last_row = f.next_row;
+            entry->generation = f.response.adapter_sequence;
+            f.cache_entry = std::move(entry);
+          }
           int64_t now_us = obs::NowMicros();
           f.job->trace.Phase("prefill", f.step_begin_us, now_us);
           f.step_begin_us = now_us;
@@ -695,6 +1055,60 @@ void InferenceServer::SchedulerLoop() {
                                 return f == nullptr;
                               }),
                rows.end());
+    inflight_rows_.store(rows.size(), std::memory_order_relaxed);
+  }
+}
+
+void InferenceServer::WatchdogLoop() {
+  ServeMetrics& metrics = Metrics();
+  uint64_t last_seq = heartbeat_seq_.load(std::memory_order_relaxed);
+  Clock::time_point last_progress = Clock::now();
+  int last_level = brownout_.level();
+  while (true) {
+    size_t depth = 0;
+    {
+      util::MutexLock lock(mu_);
+      if (!watchdog_stop_) watchdog_cv_.WaitFor(mu_, options_.watchdog_interval);
+      if (watchdog_stop_) return;
+      depth = admission_.size();
+    }
+    // --- Brownout: feed queue occupancy through the hysteresis machine
+    // and surface the level (gauge for "now", histogram for occupancy-
+    // over-time, transitions counter for flap detection). ----------------
+    double occupancy =
+        static_cast<double>(depth) /
+        static_cast<double>(std::max<size_t>(1, options_.queue_capacity));
+    int level = brownout_.Tick(occupancy);
+    metrics.brownout_level->Set(static_cast<double>(level));
+    metrics.brownout_level_samples->Record(static_cast<double>(level));
+    if (level != last_level) {
+      metrics.brownout_transitions->Increment();
+      last_level = level;
+    }
+    // --- Stall detection: the scheduler heartbeat frozen while work is
+    // pending (in-flight rows or queued requests). An idle scheduler
+    // legitimately parks on its condvar and is never declared stalled. ----
+    if (options_.watchdog_stall_timeout.count() <= 0) continue;
+    uint64_t seq = heartbeat_seq_.load(std::memory_order_relaxed);
+    bool busy = inflight_rows_.load(std::memory_order_relaxed) > 0 ||
+                depth > 0;
+    Clock::time_point now = Clock::now();
+    if (seq != last_seq || !busy) {
+      last_seq = seq;
+      last_progress = now;
+      continue;
+    }
+    if (now - last_progress >= options_.watchdog_stall_timeout &&
+        !stall_abort_.load(std::memory_order_relaxed)) {
+      metrics.watchdog_stalls->Increment();
+      // Raise the verdict, then wake the scheduler in case it is parked:
+      // the stuck batch is failed and the session rebuilt at its next
+      // observation point (a wedge inside a real Step() is only
+      // recoverable once Step returns — the documented contract).
+      stall_abort_.store(true, std::memory_order_relaxed);
+      work_ready_.NotifyAll();
+      last_progress = now;  // restart the clock for a subsequent stall
+    }
   }
 }
 

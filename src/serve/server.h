@@ -18,6 +18,7 @@
 #include "obs/exporter.h"
 #include "obs/trace.h"
 #include "serve/adapter_registry.h"
+#include "serve/admission.h"
 #include "serve/prefix_cache.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
@@ -57,15 +58,45 @@ struct ServeOptions {
   /// cancelled at the next token).
   std::chrono::milliseconds drain_deadline{0};
   /// Retry policy for fault-injectable steps (tokenize / prefill / decode
-  /// step). The per-request deadline is threaded into `retry.deadline`
-  /// before each use, so retries never outlive their request.
+  /// step). The per-request deadline is merged into `retry.deadline` via
+  /// util::BoundDeadline before each use (earliest bound wins), so retries
+  /// never outlive the request NOR a server-wide retry deadline.
   util::RetryOptions retry;
   /// Background metrics exporter (period 0 disables it). When enabled the
   /// server owns the export thread, samples its queue depth into
   /// `serve/queue_depth_samples` on every tick (before any user on_tick),
   /// and stops the exporter — with a final flush — during Shutdown().
   obs::ExporterOptions exporter;
+  /// Multi-tenant admission policy: per-tenant WDRR weights, queue caps,
+  /// and token-bucket rate limits (DESIGN.md §14). The global bound is
+  /// `queue_capacity` above.
+  AdmissionOptions admission = {};
+  /// Brownout hysteresis thresholds and degradation knobs (DESIGN.md §14).
+  BrownoutOptions brownout = {};
+  /// Deadline-infeasibility shedding: a request whose minimum service-time
+  /// estimate (EWMA prefill/decode rates) exceeds `feasibility_margin`
+  /// times its deadline budget is shed at admission with a `retry_after`
+  /// hint instead of burning batch budget it provably cannot use. > 1
+  /// demands a proof margin over the (noisy) estimate; 0 disables.
+  double feasibility_margin = 4.0;
+  /// Watchdog tick period: brownout evaluation and decode-loop heartbeat
+  /// checks run once per interval. Must be > 0.
+  std::chrono::milliseconds watchdog_interval{50};
+  /// A decode loop whose heartbeat has not advanced for this long while
+  /// work is pending is declared stalled: the watchdog fails the stuck
+  /// batch with kUnavailable and the scheduler restarts its session with
+  /// the queue intact (DESIGN.md §14). 0 disables stall detection
+  /// (brownout ticks still run). Keep generous: a legitimate batched step
+  /// under TSan can take tens of milliseconds.
+  std::chrono::milliseconds watchdog_stall_timeout{2000};
 };
+
+/// Validates `options` (zero batch/queue sizes, negative deadlines,
+/// exporter-less tick hooks, inverted brownout hysteresis, ...). The
+/// server runs this at construction and fails fast: an invalid server
+/// resolves every Submit() with the validation error instead of feeding
+/// undefined scheduler behavior.
+util::Status ValidateServeOptions(const ServeOptions& options);
 
 /// One inference request. `max_new_tokens` 0 and `deadline` 0 fall back to
 /// the server-wide defaults.
@@ -73,6 +104,14 @@ struct Request {
   std::string prompt;
   size_t max_new_tokens = 0;
   std::chrono::milliseconds deadline{0};
+  /// Tenant this request bills against for fair admission (WDRR weight,
+  /// queue cap, rate limit). Empty buckets under "default". The explicit
+  /// initializer keeps brace-init call sites like `{prompt, 8}` clean
+  /// under -Wmissing-field-initializers.
+  std::string tenant_id = {};
+  /// Priority tier: strict priority at admission, first-shed order under
+  /// brownout (DESIGN.md §14).
+  Priority priority = Priority::kNormal;
 };
 
 /// Outcome of one request. `status` is OK for a served request (including
@@ -100,6 +139,12 @@ struct Response {
   /// Admission → first token of the delivered stream; 0 when no token was
   /// generated (shed, cancelled, empty decode).
   double ttft_seconds = 0.0;
+  /// Client backoff hint, seconds. Nonzero on every shed response
+  /// (kResourceExhausted): the token-bucket refill time for rate-limit
+  /// sheds, a queue-drain estimate for capacity sheds, the minimum
+  /// service-time estimate for deadline-infeasible sheds. Also embedded in
+  /// the status message (util::RetryAfterSeconds parses it back).
+  double retry_after_seconds = 0.0;
 };
 
 /// Continuous-batching greedy-decode service over one TransformerLM.
@@ -124,6 +169,17 @@ struct Response {
 /// the request to the fallback path instead of failing it. Served token
 /// streams are bit-exact with single-threaded GreedyDecode on both the
 /// batched and the degraded path.
+///
+/// Overload control (DESIGN.md §14): admission runs through per-tenant
+/// WDRR queues with strict priority tiers, per-tenant caps and token
+/// buckets, so one tenant's burst sheds that tenant, not the fleet; every
+/// shed response carries a nonzero retry-after hint. A request that
+/// provably cannot meet its deadline (EWMA service-rate estimate) is shed
+/// at admission. Under sustained queue pressure a brownout controller
+/// steps through documented degradation levels with hysteresis, and a
+/// watchdog thread heartbeats the decode loop — a stalled step fails its
+/// batch with kUnavailable and the scheduler restarts without dropping
+/// queued work (fault point `serve/decode_stall`).
 ///
 /// Hot swap (DESIGN.md §12): SwapAdapters() publishes a new adapter
 /// version with epoch/RCU semantics — each request pins the active version
@@ -183,8 +239,24 @@ class InferenceServer {
   /// KV tokens currently held by the prefix cache.
   size_t cached_tokens() const { return cache_.cached_tokens(); }
 
+  /// Construction-time validation result (ValidateServeOptions). A non-OK
+  /// server never starts its threads; every Submit() resolves immediately
+  /// with this status. Immutable after construction.
+  const util::Status& init_status() const { return init_status_; }
+
+  /// Current brownout degradation level (0 = normal; DESIGN.md §14).
+  int brownout_level() const { return brownout_.level(); }
+
+  /// Pre-loads the service-rate estimate behind deadline-infeasibility
+  /// shedding (tokens/second), e.g. warm-starting a fresh server from a
+  /// previous run's observed rates. Live observations blend the seed away.
+  void SeedRateEstimate(double prefill_tokens_per_s,
+                        double decode_tokens_per_s) {
+    estimator_.SeedRates(prefill_tokens_per_s, decode_tokens_per_s);
+  }
+
  private:
-  struct Job {
+  struct Job : AdmissionController::Item {
     Request request;
     std::promise<Response> promise;
     // Absolute deadline; the epoch default means none.
@@ -227,10 +299,17 @@ class InferenceServer {
   void SchedulerLoop() EXCLUDES(mu_);
   void FallbackLoop() EXCLUDES(mu_);
 
-  /// Admits the queue head into `rows`. Returns false when the job was
-  /// deferred (left at the queue head) because its prefill does not fit
-  /// the current step's token budget.
-  bool AdmitOne(std::unique_ptr<Job> job,
+  /// Watchdog thread body: once per `watchdog_interval` it feeds queue
+  /// occupancy to the brownout controller and checks the scheduler
+  /// heartbeat; a heartbeat frozen for `watchdog_stall_timeout` while work
+  /// is pending raises `serve/watchdog_stalls` and aborts the stuck batch
+  /// (DESIGN.md §14).
+  void WatchdogLoop() EXCLUDES(mu_);
+
+  /// Admits a popped admission entry into `rows`. Returns false when the
+  /// job was deferred (returned to the admission queue head) because its
+  /// prefill does not fit the current step's token budget.
+  bool AdmitOne(AdmissionController::Entry entry,
                 model::BatchedDecodeSession* session,
                 std::vector<std::unique_ptr<Flight>>* rows,
                 size_t* step_tokens) EXCLUDES(mu_);
@@ -274,6 +353,15 @@ class InferenceServer {
   const ServeOptions options_;
   PrefixCache cache_;
   std::unique_ptr<obs::MetricsExporter> exporter_;
+  // ValidateServeOptions() result: written in the constructor before any
+  // thread exists, read-only afterwards (safe unguarded).
+  util::Status init_status_;
+  // Brownout level machine: Tick() confined to the watchdog thread,
+  // level() a relaxed atomic read from anywhere (admission, scheduler).
+  BrownoutController brownout_;
+  // EWMA service rates: written by the scheduler thread, read anywhere
+  // through relaxed atomics (feasibility shedding, retry-after hints).
+  RateEstimator estimator_;
 
   // Guards all queue/drain scheduler state below. Promises are resolved and
   // model steps run OUTSIDE it; PrefixCache::mu_ and the metrics registry
@@ -281,9 +369,13 @@ class InferenceServer {
   mutable util::Mutex mu_;
   util::CondVar work_ready_;
   util::CondVar fallback_ready_;
-  std::deque<std::unique_ptr<Job>> queue_ GUARDED_BY(mu_);
+  util::CondVar watchdog_cv_;
+  // Tiered per-tenant WDRR admission queues — the passive replacement for
+  // the old FIFO deque, guarded by the same lock (DESIGN.md §14).
+  AdmissionController admission_ GUARDED_BY(mu_);
   std::deque<std::unique_ptr<Flight>> fallback_queue_ GUARDED_BY(mu_);
   bool shutdown_started_ GUARDED_BY(mu_) = false;
+  bool watchdog_stop_ GUARDED_BY(mu_) = false;
   // Set after the scheduler thread is joined: from then on no new degraded
   // flights can arrive, so the fallback thread may exit once its queue is
   // empty — never before, or a flight degraded while the scheduler wound
@@ -297,8 +389,18 @@ class InferenceServer {
   // released, and only read after an acquire load of `draining_`.
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point drain_until_{};
+  // Scheduler liveness, read by the watchdog: the heartbeat advances once
+  // per decode-loop iteration; inflight_rows_ mirrors the batch size so an
+  // idle (legitimately sleeping) scheduler is never declared stalled.
+  std::atomic<uint64_t> heartbeat_seq_{0};
+  std::atomic<size_t> inflight_rows_{0};
+  // Watchdog -> scheduler stall verdict: fail the in-flight batch with
+  // kUnavailable and rebuild the decode session, keeping the queue intact.
+  // Cleared by the scheduler once recovery completes.
+  std::atomic<bool> stall_abort_{false};
   std::thread scheduler_;
   std::thread fallback_;
+  std::thread watchdog_;
 };
 
 }  // namespace infuserki::serve

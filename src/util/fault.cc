@@ -196,4 +196,15 @@ Status RetryWithBackoff(const std::function<Status()>& fn,
   }
 }
 
+RetryOptions BoundDeadline(RetryOptions options,
+                           std::chrono::steady_clock::time_point deadline) {
+  using Clock = std::chrono::steady_clock;
+  if (deadline == Clock::time_point{}) return options;
+  if (options.deadline == Clock::time_point{} ||
+      deadline < options.deadline) {
+    options.deadline = deadline;
+  }
+  return options;
+}
+
 }  // namespace infuserki::util

@@ -106,6 +106,16 @@ Status RetryWithBackoff(const std::function<Status()>& fn,
                         const RetryOptions& options = {},
                         const std::string& what = "");
 
+/// Returns `options` with its overall deadline tightened to `deadline`:
+/// the result carries the EARLIER of the two bounds, where the epoch
+/// default means "unbounded" on either side. Callers layering a
+/// per-request deadline over a configured policy must use this instead of
+/// assigning `options.deadline` directly — a plain assignment from a
+/// no-deadline request would silently erase the configured bound and let
+/// the backoff loop sleep past it.
+RetryOptions BoundDeadline(RetryOptions options,
+                           std::chrono::steady_clock::time_point deadline);
+
 }  // namespace infuserki::util
 
 /// Expression form of a failpoint hit; wrap in RETURN_IF_ERROR (or inspect

@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace infuserki::util {
 
 const char* StatusCodeName(StatusCode code) {
@@ -46,6 +49,28 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
+}
+
+namespace {
+constexpr const char kRetryAfterPrefix[] = " [retry_after_s=";
+}  // namespace
+
+Status WithRetryAfter(Status status, double seconds) {
+  if (status.ok() || seconds <= 0.0) return status;
+  char hint[64];
+  std::snprintf(hint, sizeof(hint), "%s%.6f]", kRetryAfterPrefix, seconds);
+  return Status(status.code(), status.message() + hint);
+}
+
+double RetryAfterSeconds(const Status& status) {
+  const std::string& message = status.message();
+  size_t at = message.rfind(kRetryAfterPrefix);
+  if (at == std::string::npos) return 0.0;
+  const char* begin = message.c_str() + at + sizeof(kRetryAfterPrefix) - 1;
+  char* end = nullptr;
+  double seconds = std::strtod(begin, &end);
+  if (end == begin || end == nullptr || *end != ']') return 0.0;
+  return seconds > 0.0 ? seconds : 0.0;
 }
 
 }  // namespace infuserki::util

@@ -102,6 +102,16 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+/// Attaches a machine-readable retry hint to `status`, appended to the
+/// message as ` [retry_after_s=<seconds>]`. Used by load-shedding paths
+/// (kResourceExhausted / kUnavailable) so a client that only sees the
+/// Status — not the serving layer's Response struct — still learns how
+/// long to back off. Non-positive hints return the status unchanged.
+Status WithRetryAfter(Status status, double seconds);
+
+/// Parses a hint attached by WithRetryAfter(); 0.0 when none is present.
+double RetryAfterSeconds(const Status& status);
+
 /// Union of a value and an error Status; exactly one is present.
 template <typename T>
 class StatusOr {

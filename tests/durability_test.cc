@@ -403,6 +403,66 @@ TEST(RetryWithBackoff, NoDeadlineExhaustsAllAttempts) {
   faults.Clear();
 }
 
+TEST(BoundDeadline, EpochInputsLeaveOptionsUnbounded) {
+  const std::chrono::steady_clock::time_point epoch{};
+  util::RetryOptions options;  // default: unbounded
+  util::RetryOptions bounded = util::BoundDeadline(options, epoch);
+  EXPECT_EQ(bounded.deadline, epoch);
+  // Everything else passes through untouched.
+  EXPECT_EQ(bounded.max_attempts, options.max_attempts);
+  EXPECT_EQ(bounded.base_delay_ms, options.base_delay_ms);
+  EXPECT_EQ(bounded.multiplier, options.multiplier);
+}
+
+TEST(BoundDeadline, OneSidedBoundWinsFromEitherSide) {
+  const std::chrono::steady_clock::time_point epoch{};
+  const auto bound =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+
+  // Request deadline set, options unbounded: the request bound sticks.
+  util::RetryOptions unbounded;
+  EXPECT_EQ(util::BoundDeadline(unbounded, bound).deadline, bound);
+
+  // Options deadline set, request without one: the configured bound
+  // SURVIVES — the regression a plain `options.deadline = request` erases.
+  util::RetryOptions configured;
+  configured.deadline = bound;
+  EXPECT_EQ(util::BoundDeadline(configured, epoch).deadline, bound);
+}
+
+TEST(BoundDeadline, EarliestOfTwoBoundsWins) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto sooner = now + std::chrono::seconds(1);
+  const auto later = now + std::chrono::seconds(9);
+
+  util::RetryOptions options;
+  options.deadline = later;
+  EXPECT_EQ(util::BoundDeadline(options, sooner).deadline, sooner);
+  options.deadline = sooner;
+  EXPECT_EQ(util::BoundDeadline(options, later).deadline, sooner);
+}
+
+TEST(RetryWithBackoff, BoundedOptionsNeverOversleepTheTighterBound) {
+  util::FaultRegistry& faults = util::FaultRegistry::Get();
+  faults.Clear();
+  ASSERT_TRUE(faults.Configure("test/point=fail@1+").ok());
+  // Server policy allows a leisurely 2 s retry budget, but the request's
+  // own deadline lands in 60 ms; the merged options must cut off there.
+  util::RetryOptions options{
+      .max_attempts = 50, .base_delay_ms = 40, .multiplier = 1.0};
+  options.deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  const auto request_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+  const auto start = std::chrono::steady_clock::now();
+  util::Status status = util::RetryWithBackoff(
+      [&] { return faults.Hit("test/point"); },
+      util::BoundDeadline(options, request_deadline), "bound test");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+  faults.Clear();
+}
+
 TEST(FaultRegistry, MalformedSpecsAreRejected) {
   util::FaultRegistry& faults = util::FaultRegistry::Get();
   faults.Clear();

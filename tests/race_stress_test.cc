@@ -18,6 +18,8 @@
 #include "obs/trace.h"
 #include "obs/window.h"
 #include "serve/prefix_cache.h"
+#include "serve/server.h"
+#include "text/tokenizer.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -462,6 +464,80 @@ TEST(RaceStress, ParallelGreedyDecodeSharedModel) {
   });
   for (size_t task = 0; task < kTasks; ++task) {
     EXPECT_EQ(generated[task], reference) << "task " << task;
+  }
+}
+
+
+// Submit() racing Shutdown(): the overload-control admission path
+// (DESIGN.md §14) must resolve EVERY future no matter how the submit
+// interleaves with teardown — late submits get kUnavailable promptly
+// instead of a promise that never fires. Churn through full server
+// lifecycles with concurrent multi-tenant submitters; a lost promise
+// hangs the .get() and the test times out, a locking mistake is a TSan
+// report.
+TEST(RaceStress, ServeSubmitShutdownChurn) {
+  std::vector<std::string> corpus = {"alpha beta gamma delta",
+                                     "epsilon zeta eta theta"};
+  text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+  model::TransformerConfig config;
+  config.vocab_size = tokenizer.vocab_size();
+  config.dim = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ffn_hidden = 16;
+  config.max_seq_len = 32;
+  util::Rng rng(99);
+  model::TransformerLM lm(config, &rng);
+
+  constexpr int kRounds = 3;
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 6;
+  const char* tenants[] = {"a", "b", "c", ""};
+  const serve::Priority tiers[] = {serve::Priority::kHigh,
+                                   serve::Priority::kNormal,
+                                   serve::Priority::kLow};
+
+  for (int round = 0; round < kRounds; ++round) {
+    serve::ServeOptions options;
+    options.max_batch_rows = 2;
+    options.queue_capacity = 8;
+    options.watchdog_interval = std::chrono::milliseconds(5);
+    options.admission.tenants["b"].queue_cap = 2;
+    serve::InferenceServer server(lm, tokenizer, options);
+
+    std::atomic<size_t> resolved{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          serve::Request request;
+          request.prompt = "alpha beta gamma";
+          request.max_new_tokens = 2;
+          request.tenant_id = tenants[(t + i) % 4];
+          request.priority = tiers[i % 3];
+          serve::Response response = server.Submit(std::move(request)).get();
+          // Any terminal classification is legal mid-teardown; a future
+          // that never resolves is the bug this test exists to catch.
+          switch (response.status.code()) {
+            case util::StatusCode::kOk:
+            case util::StatusCode::kResourceExhausted:
+            case util::StatusCode::kCancelled:
+            case util::StatusCode::kUnavailable:
+            case util::StatusCode::kDeadlineExceeded:
+              break;
+            default:
+              ADD_FAILURE() << "unexpected code: " << response.status;
+          }
+          resolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // Tear the server down while submitters are mid-flight; later rounds
+    // shift the race window across admission, decode, and drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 * round));
+    server.Shutdown();
+    for (std::thread& s : submitters) s.join();
+    EXPECT_EQ(resolved.load(), size_t{kSubmitters * kPerThread});
   }
 }
 

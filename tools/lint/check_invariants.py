@@ -33,6 +33,13 @@ they are about *this* repo's conventions:
                 in the §6 Observability metric table, so the batching
                 narrative cannot drift from the metric registry. Names that
                 are fault points in code (e.g. `serve/prefill`) are exempt.
+  overload-metrics  Every `serve/...` metric literal in the DESIGN.md
+                "Overload control" section (§14) must also appear in the §6
+                Observability metric table (fault points exempt), and the
+                `kBrownout*` degradation-level constants must match
+                bidirectionally between §14 and src/serve/admission.h —
+                the brownout ladder is a documented contract, so neither
+                side may drift.
   raw-mutex     Raw std::mutex / std::lock_guard / std::unique_lock /
                 std::condition_variable / std::scoped_lock / shared_mutex
                 in src/ is banned outside the annotated wrapper
@@ -367,6 +374,58 @@ def check_batching_metrics(root, design_text, violations):
                     "narrative and the registry)"))
 
 
+OVERLOAD_SECTION = re.compile(
+    r"^##[^\n]*Overload control[^\n]*\n(.*?)(?=^## |\Z)",
+    re.MULTILINE | re.DOTALL)
+OVERLOAD_METRIC_TOKEN = re.compile(r"^serve/[A-Za-z0-9_]+$")
+BROWNOUT_CONSTANT = re.compile(r"\bkBrownout\w+")
+ADMISSION_HEADER = "src/serve/admission.h"
+
+
+def check_overload_metrics(root, design_text, violations):
+    """§14's overload narrative may only name metrics the §6 table
+    documents (fault points exempt), and the brownout degradation ladder —
+    the kBrownout* level constants — must agree between §14 and the code
+    that defines it (src/serve/admission.h), in both directions."""
+    match = OVERLOAD_SECTION.search(design_text)
+    if not match:
+        return
+    section_text = match.group(1)
+    section = observability_section(design_text)
+    tokens = set(re.findall(r"`([^`]+)`", section)) if section else set()
+    fault_points = set(collect_fault_points(root))
+    first_line = design_text[:match.start(1)].count("\n") + 1
+    for i, line in enumerate(section_text.split("\n"), first_line):
+        for token in re.findall(r"`([^`]+)`", line):
+            if not OVERLOAD_METRIC_TOKEN.match(token):
+                continue
+            if token in fault_points:
+                continue
+            if not metric_documented(token, tokens):
+                violations.append(Violation(
+                    "DESIGN.md", i, "overload-metrics",
+                    f'§14 names metric "{token}" but the §6 metric table '
+                    "does not document it (doc drift between the overload "
+                    "narrative and the registry)"))
+    admission = root / ADMISSION_HEADER
+    if not admission.is_file():
+        return
+    code_constants = set(
+        BROWNOUT_CONSTANT.findall(strip_comments(admission.read_text())))
+    doc_constants = set(BROWNOUT_CONSTANT.findall(section_text))
+    for name in sorted(doc_constants - code_constants):
+        violations.append(Violation(
+            "DESIGN.md", first_line, "overload-metrics",
+            f'§14 names brownout constant "{name}" but '
+            f"{ADMISSION_HEADER} defines no such constant (stale "
+            "degradation ladder)"))
+    for name in sorted(code_constants - doc_constants):
+        violations.append(Violation(
+            ADMISSION_HEADER, 1, "overload-metrics",
+            f'brownout constant "{name}" is missing from the DESIGN.md §14 '
+            "degradation ladder (document every level)"))
+
+
 def check_raw_mutex(root, violations):
     for path in iter_code_files(root, ("src",)):
         rel = path.relative_to(root).as_posix()
@@ -450,6 +509,7 @@ RULES = {
     "rng-determinism": lambda root, design, v: check_rng_determinism(root, v),
     "arch-file-map": lambda root, design, v: check_arch_file_map(root, v),
     "batching-metrics": check_batching_metrics,
+    "overload-metrics": check_overload_metrics,
     "raw-mutex": lambda root, design, v: check_raw_mutex(root, v),
     "mutex-guards": lambda root, design, v: check_mutex_guards(root, v),
     "lock-order": check_lock_order,

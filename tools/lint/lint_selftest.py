@@ -27,6 +27,8 @@ EXPECTED_VIOLATIONS = {
     "arch_drift": ("arch-file-map", '"src/util/gone.cc" does not exist'),
     "batch_metric_drift": (
         "batching-metrics", '"serve/batch_size" but the §6 metric table'),
+    "overload_metric_drift": (
+        "overload-metrics", '"serve/brownout_level" but the §6 metric table'),
     "mutex_raw": ("raw-mutex", "raw std::mutex-family primitive"),
     "mutex_unguarded": ("mutex-guards", '"mu_" has no GUARDED_BY'),
     "lock_order_drift": ("lock-order", '"Ghost::mu_"'),

@@ -1,0 +1,7 @@
+#ifndef INFUSERKI_SERVE_ADMISSION_H_
+#define INFUSERKI_SERVE_ADMISSION_H_
+
+inline constexpr int kBrownoutClampLevel = 1;
+inline constexpr int kBrownoutUndocumentedLevel = 2;
+
+#endif  // INFUSERKI_SERVE_ADMISSION_H_
